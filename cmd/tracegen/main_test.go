@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/traces"
+)
+
+func TestGenerateAndParseBack(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.fcd.xml")
+	err := run([]string{
+		"-vehicles", "10", "-duration", "5", "-interval", "0.5",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tracks, err := traces.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 10 {
+		t.Fatalf("tracks = %d", len(tracks))
+	}
+	if len(tracks[0].Waypoints) != 11 {
+		t.Fatalf("waypoints = %d, want 0..5s at 0.5s", len(tracks[0].Waypoints))
+	}
+}
+
+func TestGenerateCityWithBuses(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "city.fcd.xml")
+	err := run([]string{
+		"-city", "-grid", "3", "-vehicles", "8", "-buses", "2",
+		"-duration", "4", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tracks, err := traces.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 10 {
+		t.Fatalf("tracks = %d (8 cars + 2 buses)", len(tracks))
+	}
+	buses := 0
+	for _, tr := range tracks {
+		if tr.Class == 2 { // mobility.Bus
+			buses++
+		}
+	}
+	if buses != 2 {
+		t.Fatalf("bus tracks = %d", buses)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

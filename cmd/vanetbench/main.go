@@ -1,0 +1,61 @@
+// Command vanetbench regenerates the paper's figures and table as
+// plain-text experiment reports.
+//
+// Usage:
+//
+//	vanetbench                  # run everything
+//	vanetbench -exp fig5        # one experiment
+//	vanetbench -list            # list experiment IDs
+//	vanetbench -quick           # smaller populations / shorter runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vanetlab/relroute"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vanetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vanetbench", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "all", "experiment ID or \"all\"")
+		list  = fs.Bool("list", false, "list experiments and exit")
+		seed  = fs.Int64("seed", 1, "random seed")
+		quick = fs.Bool("quick", false, "reduced populations and durations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range relroute.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick}
+	if *exp != "all" {
+		tab, err := relroute.RunExperiment(*exp, cfg)
+		if err != nil {
+			return err
+		}
+		tab.Render(os.Stdout)
+		return nil
+	}
+	for _, e := range relroute.Experiments() {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		tab.Render(os.Stdout)
+	}
+	return nil
+}

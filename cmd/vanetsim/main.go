@@ -1,0 +1,84 @@
+// Command vanetsim runs one VANET routing simulation and prints the
+// metrics summary.
+//
+// Usage:
+//
+//	vanetsim -proto TBP-SS -vehicles 60 -duration 60 -seed 1
+//	vanetsim -proto DRR -rsus 3 -vehicles 12 -length 3000
+//	vanetsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vanetlab/relroute"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vanetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vanetsim", flag.ContinueOnError)
+	var (
+		proto     = fs.String("proto", "TBP-SS", "routing protocol (see -list)")
+		list      = fs.Bool("list", false, "list available protocols and exit")
+		seed      = fs.Int64("seed", 1, "random seed (same seed => identical run)")
+		vehicles  = fs.Int("vehicles", 60, "number of vehicles")
+		length    = fs.Float64("length", 2000, "highway length in meters")
+		city      = fs.Bool("city", false, "use a Manhattan grid instead of a highway")
+		speed     = fs.Float64("speed", 30, "mean desired speed in m/s")
+		speedStd  = fs.Float64("speedstd", 6, "desired speed standard deviation in m/s")
+		duration  = fs.Float64("duration", 60, "simulated seconds")
+		flows     = fs.Int("flows", 4, "number of CBR flows")
+		packets   = fs.Int("packets", 30, "packets per flow")
+		rsus      = fs.Int("rsus", 0, "road-side units (DRR protocol)")
+		buses     = fs.Int("buses", 0, "ferry buses (Bus protocol)")
+		shadowing = fs.Bool("shadowing", false, "log-normal shadowing channel instead of unit disk")
+		rng       = fs.Float64("range", 250, "nominal radio range in meters")
+		tickets   = fs.Int("tickets", 3, "TBP-SS ticket budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, p := range relroute.Protocols() {
+			fmt.Println(p)
+		}
+		return nil
+	}
+	opts := relroute.Options{
+		Seed: *seed, Vehicles: *vehicles, HighwayLength: *length,
+		SpeedMean: *speed, SpeedStd: *speedStd, Duration: *duration,
+		Flows: *flows, FlowPackets: *packets,
+		RSUs: *rsus, Buses: *buses, Shadowing: *shadowing, Range: *rng,
+		TicketBudget: *tickets,
+	}
+	if *city {
+		opts.Kind = relroute.CityKind
+	}
+	sum, err := relroute.Run(*proto, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol   %s\n", sum.Protocol)
+	fmt.Printf("scenario   %s\n", sum.Scenario)
+	fmt.Printf("sent       %d\n", sum.DataSent)
+	fmt.Printf("delivered  %d\n", sum.DataDelivered)
+	fmt.Printf("PDR        %.3f\n", sum.PDR)
+	fmt.Printf("delay      mean %.4fs  p95 %.4fs\n", sum.MeanDelay, sum.P95Delay)
+	fmt.Printf("hops       %.2f\n", sum.MeanHops)
+	fmt.Printf("overhead   %.1f control tx per delivered packet\n", sum.Overhead)
+	fmt.Printf("collisions %.2f%% of receptions\n", 100*sum.CollisionRate)
+	fmt.Printf("routes     %d discoveries, %d breaks, %d repairs\n",
+		sum.Discoveries, sum.Breaks, sum.Repairs)
+	if sum.PathLifetime > 0 {
+		fmt.Printf("path life  %.1fs predicted mean\n", sum.PathLifetime)
+	}
+	return nil
+}

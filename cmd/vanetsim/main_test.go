@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	err := run([]string{
+		"-proto", "Greedy", "-vehicles", "20", "-duration", "10",
+		"-flows", "2", "-packets", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCityTopology(t *testing.T) {
+	err := run([]string{
+		"-proto", "AODV", "-city", "-vehicles", "25", "-duration", "10",
+		"-flows", "2", "-packets", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run([]string{"-proto", "Bogus", "-duration", "5"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

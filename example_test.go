@@ -1,0 +1,59 @@
+package relroute_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vanetlab/relroute"
+)
+
+// ExampleRun simulates the paper's TBP-SS protocol on a highway and reports
+// delivery. The seed makes the run fully deterministic.
+func ExampleRun() {
+	sum, err := relroute.Run("TBP-SS", relroute.Options{
+		Seed:          7,
+		Vehicles:      50,
+		HighwayLength: 1500,
+		Duration:      30,
+		Flows:         2,
+		FlowPackets:   10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %d of %d\n", sum.DataDelivered, sum.DataSent)
+	// Output: delivered 20 of 20
+}
+
+// ExampleLinkLifetime solves the paper's Eqn (4) for two vehicles on a
+// highway: A at the origin doing 30 m/s, B 100 m ahead doing 25 m/s, with
+// a 250 m radio range. A catches up, passes, and the link breaks when A is
+// 250 m ahead: (250+100)/5 = 70 s.
+func ExampleLinkLifetime() {
+	lifetime := relroute.LinkLifetime(
+		relroute.V(0, 0), relroute.V(30, 0),
+		relroute.V(100, 0), relroute.V(25, 0),
+		250,
+	)
+	fmt.Printf("the link lives %.0f s\n", lifetime)
+	// Output: the link lives 70 s
+}
+
+// ExamplePathLifetime applies the paper's composition rule: a route lives
+// only as long as its weakest link.
+func ExamplePathLifetime() {
+	fmt.Println(relroute.PathLifetime([]float64{42.0, 7.5, 19.3}))
+	// Output: 7.5
+}
+
+// ExampleTaxonomy walks the Fig. 1 protocol catalogue.
+func ExampleTaxonomy() {
+	implemented := 0
+	for _, e := range relroute.Taxonomy() {
+		if e.Implemented() {
+			implemented++
+		}
+	}
+	fmt.Printf("catalogued: %d, implemented: %d\n", len(relroute.Taxonomy()), implemented)
+	// Output: catalogued: 29, implemented: 22
+}

@@ -1,0 +1,46 @@
+// City QoS streaming: the survey's multimedia motivation ("a car that
+// travels down an interstate and whose passengers are interested in
+// viewing a particular movie"). A content stream crosses a Manhattan
+// grid; AODV rebuilds its route only after each break, while the paper's
+// TBP-SS probes stable links up front and repairs preemptively, keeping
+// delivery up at comparable overhead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vanetlab/relroute"
+)
+
+func main() {
+	fmt.Println("streaming across a 4x4 Manhattan grid (90 vehicles, 80 s):")
+	fmt.Printf("%-8s %6s %10s %9s %8s %9s %8s\n",
+		"proto", "PDR", "delay(ms)", "overhead", "breaks", "repairs", "probes")
+	for _, proto := range []string{"AODV", "GVGrid", "TBP-SS"} {
+		sum, err := relroute.Run(proto, relroute.Options{
+			Seed:         3,
+			Kind:         relroute.CityKind,
+			GridN:        4,
+			Vehicles:     90,
+			SpeedMean:    14, // urban speeds
+			SpeedStd:     4,
+			Duration:     80,
+			Flows:        3,
+			FlowPackets:  60,
+			FlowInterval: 0.5,
+			PacketSize:   1024, // media segments
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %5.0f%% %10.1f %9.1f %8d %9d %8d\n",
+			proto, 100*sum.PDR, 1000*sum.MeanDelay, sum.Overhead,
+			sum.Breaks, sum.Repairs, sum.Discoveries)
+	}
+	fmt.Println("\nAODV re-floods after every break (see its breaks column and")
+	fmt.Println("overhead); the probability protocols hold orders of magnitude")
+	fmt.Println("fewer breaking routes by probing stable links up front (Sec. VII).")
+	fmt.Println("City corners blunt straight-line probing — the survey's point")
+	fmt.Println("that no single category wins everywhere (Sec. VIII).")
+}

@@ -1,0 +1,39 @@
+// Highway emergency alerts: the survey's motivating dissemination
+// workload. An accident report must travel from the crash site to an
+// approaching vehicle. Pure flooding reaches it but detonates a broadcast
+// storm; Bronsted-style zone flooding and LORA-DCBF gateway clustering
+// deliver the same alert at a fraction of the transmissions; Biswas's
+// acknowledged flooding adds delivery persistence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vanetlab/relroute"
+)
+
+func main() {
+	fmt.Println("emergency alert on a congested 1.5 km highway (100 vehicles):")
+	fmt.Printf("%-12s %6s %14s %10s %12s\n",
+		"protocol", "PDR", "MAC transmits", "dup ratio", "collisions")
+	for _, proto := range []string{"Flooding", "Biswas", "Zone", "LORA-DCBF"} {
+		sum, err := relroute.Run(proto, relroute.Options{
+			Seed:          7,
+			Vehicles:      100,
+			HighwayLength: 1500,
+			SpeedMean:     15, // congested flow
+			Duration:      30,
+			Flows:         4,
+			FlowPackets:   10,
+			PacketSize:    256, // alert payloads are small
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %5.0f%% %14d %10.2f %11.1f%%\n",
+			proto, 100*sum.PDR, sum.MACTransmits, sum.DupRatio, 100*sum.CollisionRate)
+	}
+	fmt.Println("\nzone/gateway scoping keeps the alert inside the relevant road")
+	fmt.Println("section (Fig. 6) instead of flooding the whole network (Sec. III).")
+}

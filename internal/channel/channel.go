@@ -1,0 +1,129 @@
+// Package channel models wireless propagation between vehicles: whether a
+// frame transmitted at one position is decodable at another, the received
+// signal strength (for protocols like REAR that act on RSSI), and the
+// carrier-sense range (for the MAC's collision bookkeeping).
+package channel
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/prob"
+)
+
+// Model decides frame reception.
+type Model interface {
+	// MaxRange returns a conservative upper bound on the distance at which
+	// reception is possible; the MAC uses it to prune candidate receivers.
+	MaxRange() float64
+	// Decodable reports whether a frame sent over distance d is received,
+	// given channel randomness from rng.
+	Decodable(d float64, rng *rand.Rand) bool
+	// RSSI returns the received signal strength in dBm for a frame over
+	// distance d, including the random shadowing realisation.
+	RSSI(d float64, rng *rand.Rand) float64
+	// MeanRange returns the distance at which reception probability is
+	// 50%, used to parameterise analytic link-lifetime models (their r).
+	MeanRange() float64
+}
+
+// UnitDisk is the idealised model: every frame within Range is received,
+// nothing beyond. It keeps analytic results exact, so the Fig. 3 lifetime
+// validation uses it.
+type UnitDisk struct {
+	Range float64 // meters
+}
+
+var _ Model = UnitDisk{}
+
+// MaxRange implements Model.
+func (u UnitDisk) MaxRange() float64 { return u.Range }
+
+// MeanRange implements Model.
+func (u UnitDisk) MeanRange() float64 { return u.Range }
+
+// Decodable implements Model.
+func (u UnitDisk) Decodable(d float64, _ *rand.Rand) bool { return d <= u.Range }
+
+// RSSI implements Model with a deterministic log-distance curve so RSSI
+// ordering still reflects distance.
+func (u UnitDisk) RSSI(d float64, _ *rand.Rand) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return 20 - 46.7 - 28*math.Log10(d)
+}
+
+// Shadowing is the log-normal shadowing model the survey lists as the
+// standard signal-strength assumption: received power is normally
+// distributed in dB around the log-distance path loss, and a frame is
+// decodable when it exceeds the receiver threshold.
+type Shadowing struct {
+	Receipt prob.ReceiptModel
+	// CutoffProb prunes the model's unbounded tail: distances whose
+	// receipt probability falls below it are treated as out of range.
+	// Zero means 0.01.
+	CutoffProb float64
+
+	maxRange float64 // cached
+}
+
+// NewShadowing returns a shadowing channel for the given receipt model.
+func NewShadowing(m prob.ReceiptModel) *Shadowing {
+	s := &Shadowing{Receipt: m, CutoffProb: 0.01}
+	s.maxRange = s.computeMaxRange()
+	return s
+}
+
+var _ Model = (*Shadowing)(nil)
+
+func (s *Shadowing) cutoff() float64 {
+	if s.CutoffProb <= 0 {
+		return 0.01
+	}
+	return s.CutoffProb
+}
+
+func (s *Shadowing) computeMaxRange() float64 {
+	lo, hi := 1.0, 20000.0
+	if s.Receipt.Prob(hi) > s.cutoff() {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := 0.5 * (lo + hi)
+		if s.Receipt.Prob(mid) > s.cutoff() {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// MaxRange implements Model.
+func (s *Shadowing) MaxRange() float64 { return s.maxRange }
+
+// MeanRange implements Model.
+func (s *Shadowing) MeanRange() float64 { return s.Receipt.MedianRange() }
+
+// Decodable implements Model: Bernoulli draw with the distance-dependent
+// receipt probability.
+func (s *Shadowing) Decodable(d float64, rng *rand.Rand) bool {
+	p := s.Receipt.Prob(d)
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	return rng.Float64() < p
+}
+
+// RSSI implements Model: mean path-loss power plus a shadowing draw.
+func (s *Shadowing) RSSI(d float64, rng *rand.Rand) float64 {
+	mean := s.Receipt.MeanRxPower(d)
+	if s.Receipt.ShadowSigmaDB <= 0 || rng == nil {
+		return mean
+	}
+	return mean + s.Receipt.ShadowSigmaDB*rng.NormFloat64()
+}

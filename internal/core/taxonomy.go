@@ -1,0 +1,138 @@
+package core
+
+import "sort"
+
+// Category is one of the five classes of the paper's taxonomy (Fig. 1).
+type Category int
+
+const (
+	// Connectivity covers flooding and enhanced-flooding protocols
+	// (Sec. III).
+	Connectivity Category = iota + 1
+	// Mobility covers link-lifetime and direction-aware protocols
+	// (Sec. IV).
+	Mobility
+	// Infrastructure covers RSU- and ferry-assisted protocols (Sec. V).
+	Infrastructure
+	// Geographic covers position-based protocols (Sec. VI).
+	Geographic
+	// Probability covers probability-model-based protocols (Sec. VII).
+	Probability
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Connectivity:
+		return "connectivity"
+	case Mobility:
+		return "mobility"
+	case Infrastructure:
+		return "infrastructure"
+	case Geographic:
+		return "geographic-location"
+	case Probability:
+		return "probability-model"
+	default:
+		return "unknown"
+	}
+}
+
+// Categories lists all five in paper order.
+func Categories() []Category {
+	return []Category{Connectivity, Mobility, Infrastructure, Geographic, Probability}
+}
+
+// Entry describes one protocol of the Fig. 1 taxonomy.
+type Entry struct {
+	// Name is the survey's marker name (e.g. "PBR", "Biswas").
+	Name string
+	// Category is the taxonomy class.
+	Category Category
+	// Ref is the survey's citation number.
+	Ref string
+	// Description is a one-line summary of the protocol's idea.
+	Description string
+	// Package is the implementing package in this repository, empty when
+	// the protocol is catalogued but not implemented.
+	Package string
+}
+
+// Implemented reports whether this repository ships the protocol.
+func (e Entry) Implemented() bool { return e.Package != "" }
+
+// taxonomy mirrors Fig. 1 of the paper: every protocol the survey places
+// in its tree, with pointers to the implementations this repository
+// provides. Representative members of every category are implemented.
+var taxonomy = []Entry{
+	// Connectivity (flooding) — Sec. III
+	{Name: "Flooding", Category: Connectivity, Ref: "—", Description: "broadcast to every node, rebroadcast first copies", Package: "internal/routing/flood"},
+	{Name: "AODV", Category: Connectivity, Ref: "[6]", Description: "on-demand RREQ/RREP/RERR route discovery", Package: "internal/routing/aodv"},
+	{Name: "DSR", Category: Connectivity, Ref: "[7]", Description: "source routing with route caches", Package: "internal/routing/dsr"},
+	{Name: "DSDV", Category: Connectivity, Ref: "[8]", Description: "proactive sequence-numbered distance vector", Package: "internal/routing/dsdv"},
+	{Name: "Biswas", Category: Connectivity, Ref: "[9]", Description: "flooding with implicit acknowledgment from downstream rebroadcasts", Package: "internal/routing/flood"},
+	{Name: "Murthy", Category: Connectivity, Ref: "[10]", Description: "wireless routing protocol over a directed graph of flooded control messages"},
+	{Name: "Abedi", Category: Connectivity, Ref: "[11]", Description: "AODV with mobility parameters (also classified under mobility)", Package: "internal/routing/abedi"},
+	{Name: "DisjLi", Category: Connectivity, Ref: "[12]", Description: "on-demand node-disjoint multipath routing"},
+
+	// Mobility — Sec. IV
+	{Name: "PBR", Category: Mobility, Ref: "[13]", Description: "predicted route lifetime selection with preemptive rebuild", Package: "internal/routing/pbr"},
+	{Name: "Taleb", Category: Mobility, Ref: "[14]", Description: "velocity-vector grouping, rediscovery before shortest link duration", Package: "internal/routing/taleb"},
+	{Name: "Abedi-M", Category: Mobility, Ref: "[11]", Description: "direction-first, then position, then speed next-hop ranking", Package: "internal/routing/abedi"},
+	{Name: "Wedde", Category: Mobility, Ref: "[15]", Description: "road-condition rating from speed/density/congestion interdependencies"},
+	{Name: "NiuDe", Category: Mobility, Ref: "[16]", Description: "link reliability from duration and traffic density with delay bounds", Package: "internal/routing/niude"},
+
+	// Infrastructure — Sec. V
+	{Name: "DRR", Category: Infrastructure, Ref: "[17]", Description: "RSUs as virtual equivalent nodes over a wired backbone", Package: "internal/routing/rsu"},
+	{Name: "SARC", Category: Infrastructure, Ref: "[18]", Description: "street-based anonymous routing for city environments"},
+	{Name: "Bus", Category: Infrastructure, Ref: "[19]", Description: "buses on regular routes as message ferries", Package: "internal/routing/busferry"},
+
+	// Geographic — Sec. VI
+	{Name: "CarNet", Category: Geographic, Ref: "[20]", Description: "grid location service with geographic forwarding"},
+	{Name: "Kato", Category: Geographic, Ref: "[21]", Description: "lane/position-based network groups"},
+	{Name: "Zone", Category: Geographic, Ref: "[22]", Description: "geographic zone flooding and zone routing", Package: "internal/routing/zone"},
+	{Name: "Greedy", Category: Geographic, Ref: "[23,24]", Description: "furthest-progress forwarding with direction awareness", Package: "internal/routing/greedy"},
+	{Name: "ROVER", Category: Geographic, Ref: "[25]", Description: "zone-based reliable geographical multicast"},
+	{Name: "LORA-DCBF", Category: Geographic, Ref: "[26]", Description: "directional cluster-based flooding through elected gateways", Package: "internal/routing/gateway"},
+
+	// Probability — Sec. VII
+	{Name: "Yan", Category: Probability, Ref: "[27]", Description: "ticket-based probing on expected link duration", Package: "internal/core"},
+	{Name: "TBP-SS", Category: Probability, Ref: "[27]", Description: "ticket-based probing with stability (mean link duration) constraint", Package: "internal/core"},
+	{Name: "GVGrid", Category: Probability, Ref: "[28]", Description: "grid paths with normal-speed link-lifetime probability", Package: "internal/routing/gvgrid"},
+	{Name: "NiuDe-P", Category: Probability, Ref: "[16]", Description: "link availability prediction for QoS multimedia routes", Package: "internal/routing/niude"},
+	{Name: "CAR", Category: Probability, Ref: "[29]", Description: "per-road-segment connectivity probability maximisation", Package: "internal/routing/car"},
+	{Name: "REAR", Category: Probability, Ref: "[30]", Description: "receipt probability from signal strength and loss", Package: "internal/routing/rear"},
+	{Name: "Hybrid", Category: Probability, Ref: "Sec. VIII", Description: "the conclusion's proposal: probability model strengthened by mobility signals", Package: "internal/routing/hybrid"},
+}
+
+// Taxonomy returns a copy of the Fig. 1 protocol catalogue.
+func Taxonomy() []Entry {
+	out := make([]Entry, len(taxonomy))
+	copy(out, taxonomy)
+	return out
+}
+
+// ByCategory returns the catalogue entries of one category, sorted by
+// name.
+func ByCategory(c Category) []Entry {
+	var out []Entry
+	for _, e := range taxonomy {
+		if e.Category == c {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ImplementedCount returns how many catalogued protocols this repository
+// implements.
+func ImplementedCount() int {
+	n := 0
+	for _, e := range taxonomy {
+		if e.Implemented() {
+			n++
+		}
+	}
+	return n
+}

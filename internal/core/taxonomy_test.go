@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+func TestTaxonomyCoversAllCategories(t *testing.T) {
+	for _, cat := range Categories() {
+		entries := ByCategory(cat)
+		if len(entries) == 0 {
+			t.Fatalf("category %v has no catalogued protocols", cat)
+		}
+		implemented := 0
+		for _, e := range entries {
+			if e.Implemented() {
+				implemented++
+			}
+		}
+		if implemented < 2 {
+			t.Errorf("category %v has %d implementations, want ≥2", cat, implemented)
+		}
+	}
+}
+
+func TestTaxonomyNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Taxonomy() {
+		if seen[e.Name] {
+			t.Errorf("duplicate taxonomy name %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestTaxonomyReturnsCopy(t *testing.T) {
+	a := Taxonomy()
+	a[0].Name = "mutated"
+	b := Taxonomy()
+	if b[0].Name == "mutated" {
+		t.Fatal("Taxonomy exposes internal state")
+	}
+}
+
+func TestImplementedCount(t *testing.T) {
+	if got := ImplementedCount(); got < 16 {
+		t.Fatalf("implemented protocols = %d, want ≥16", got)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{
+		Connectivity:   "connectivity",
+		Mobility:       "mobility",
+		Infrastructure: "infrastructure",
+		Geographic:     "geographic-location",
+		Probability:    "probability-model",
+		Category(0):    "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestPaperProtocolsPresent(t *testing.T) {
+	// every protocol named in Fig. 1 must be catalogued
+	want := []string{
+		"AODV", "DSR", "DSDV", "Biswas", "Murthy", "Abedi", "DisjLi",
+		"PBR", "Taleb", "Wedde", "NiuDe",
+		"DRR", "SARC", "Bus",
+		"CarNet", "Kato", "Zone", "Greedy", "ROVER", "LORA-DCBF",
+		"Yan", "GVGrid", "CAR", "REAR", "TBP-SS",
+	}
+	have := map[string]bool{}
+	for _, e := range Taxonomy() {
+		have[e.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("Fig. 1 protocol %q missing from the taxonomy", name)
+		}
+	}
+}

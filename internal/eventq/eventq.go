@@ -1,0 +1,124 @@
+// Package eventq implements the cancellable priority queue that drives the
+// discrete-event simulation engine. Events fire in non-decreasing time
+// order; events scheduled for the same instant fire in the order they were
+// scheduled (FIFO), which keeps runs deterministic.
+package eventq
+
+import "container/heap"
+
+// ID identifies a scheduled event so it can be cancelled. The zero ID is
+// never issued.
+type ID uint64
+
+// Event is a queued callback.
+type event struct {
+	at        float64
+	seq       uint64 // tie-breaker for equal times: insertion order
+	id        ID
+	fn        func()
+	cancelled bool
+	index     int // heap index, maintained by heap.Interface
+}
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+// Queue is not safe for concurrent use; the simulation engine owns it.
+type Queue struct {
+	h      eventHeap
+	nextID ID
+	seq    uint64
+	byID   map[ID]*event
+	live   int // scheduled and not cancelled
+}
+
+// Len returns the number of pending (non-cancelled) events.
+func (q *Queue) Len() int { return q.live }
+
+// Schedule enqueues fn to run at time at and returns a handle that can be
+// passed to Cancel.
+func (q *Queue) Schedule(at float64, fn func()) ID {
+	if q.byID == nil {
+		q.byID = make(map[ID]*event)
+	}
+	q.nextID++
+	q.seq++
+	ev := &event{at: at, seq: q.seq, id: q.nextID, fn: fn}
+	heap.Push(&q.h, ev)
+	q.byID[ev.id] = ev
+	q.live++
+	return ev.id
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or unknown
+// event is a no-op and reports false.
+func (q *Queue) Cancel(id ID) bool {
+	ev, ok := q.byID[id]
+	if !ok || ev.cancelled {
+		return false
+	}
+	ev.cancelled = true
+	delete(q.byID, id)
+	q.live--
+	return true
+}
+
+// PeekTime returns the time of the next pending event. ok is false when the
+// queue is empty.
+func (q *Queue) PeekTime() (at float64, ok bool) {
+	q.drainCancelled()
+	if q.h.Len() == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+// Pop removes and returns the next event's time and callback. ok is false
+// when the queue is empty.
+func (q *Queue) Pop() (at float64, fn func(), ok bool) {
+	q.drainCancelled()
+	if q.h.Len() == 0 {
+		return 0, nil, false
+	}
+	ev := heap.Pop(&q.h).(*event)
+	delete(q.byID, ev.id)
+	q.live--
+	return ev.at, ev.fn, true
+}
+
+// drainCancelled lazily discards cancelled events sitting at the head.
+func (q *Queue) drainCancelled() {
+	for q.h.Len() > 0 && q.h[0].cancelled {
+		heap.Pop(&q.h)
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,177 @@
+package eventq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var fired []int
+	q.Schedule(3, func() { fired = append(fired, 3) })
+	q.Schedule(1, func() { fired = append(fired, 1) })
+	q.Schedule(2, func() { fired = append(fired, 2) })
+	for {
+		_, fn, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn()
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(5, func() { fired = append(fired, i) })
+	}
+	for {
+		_, fn, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn()
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("equal-time events out of insertion order: %v", fired)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	ran := false
+	id := q.Schedule(1, func() { ran = true })
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if !q.Cancel(id) {
+		t.Fatal("cancel reported false for pending event")
+	}
+	if q.Cancel(id) {
+		t.Fatal("double cancel reported true")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len after cancel = %d", q.Len())
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop returned a cancelled event")
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelUnknown(t *testing.T) {
+	var q Queue
+	if q.Cancel(12345) {
+		t.Fatal("cancel of unknown id reported true")
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("peek on empty queue reported ok")
+	}
+	q.Schedule(7, func() {})
+	id := q.Schedule(2, func() {})
+	if at, ok := q.PeekTime(); !ok || at != 2 {
+		t.Fatalf("peek = %v,%v", at, ok)
+	}
+	q.Cancel(id)
+	if at, ok := q.PeekTime(); !ok || at != 7 {
+		t.Fatalf("peek after cancel head = %v,%v", at, ok)
+	}
+}
+
+func TestCancelledHeadDoesNotBlock(t *testing.T) {
+	var q Queue
+	a := q.Schedule(1, func() {})
+	q.Schedule(2, func() {})
+	q.Cancel(a)
+	at, _, ok := q.Pop()
+	if !ok || at != 2 {
+		t.Fatalf("pop = %v,%v", at, ok)
+	}
+}
+
+func TestPopOrderProperty(t *testing.T) {
+	// property: whatever times go in, pops are non-decreasing
+	f := func(times []float64) bool {
+		var q Queue
+		for _, at := range times {
+			if math.IsNaN(at) {
+				return true // NaN times are out of contract
+			}
+			q.Schedule(at, func() {})
+		}
+		prev := math.Inf(-1)
+		for {
+			at, _, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if at < prev {
+				return false
+			}
+			prev = at
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomCancelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var q Queue
+	var ids []ID
+	var times []float64
+	for i := 0; i < 500; i++ {
+		at := rng.Float64() * 100
+		ids = append(ids, q.Schedule(at, func() {}))
+		times = append(times, at)
+	}
+	// cancel a random half
+	cancelled := make(map[int]bool)
+	for i := 0; i < 250; i++ {
+		idx := rng.Intn(len(ids))
+		if q.Cancel(ids[idx]) {
+			cancelled[idx] = true
+		}
+	}
+	var expect []float64
+	for i, at := range times {
+		if !cancelled[i] {
+			expect = append(expect, at)
+		}
+	}
+	sort.Float64s(expect)
+	var got []float64
+	for {
+		at, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, at)
+	}
+	if len(got) != len(expect) {
+		t.Fatalf("got %d events, want %d", len(got), len(expect))
+	}
+	for i := range got {
+		if got[i] != expect[i] {
+			t.Fatalf("event %d time %v, want %v", i, got[i], expect[i])
+		}
+	}
+}

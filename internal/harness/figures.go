@@ -1,0 +1,341 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/core"
+	"github.com/vanetlab/relroute/internal/link"
+	"github.com/vanetlab/relroute/internal/mobility"
+	"github.com/vanetlab/relroute/internal/netstack"
+	"github.com/vanetlab/relroute/internal/roadnet"
+	"github.com/vanetlab/relroute/internal/scenario"
+)
+
+// newRand derives a deterministic stream for harness-local sampling.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Fig1Taxonomy regenerates Fig. 1: the five-category protocol taxonomy,
+// with the implementing package of every protocol this repository ships.
+func Fig1Taxonomy(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig1",
+		Title:   "taxonomy of VANET routing techniques",
+		Columns: []string{"category", "protocol", "ref", "implementation", "idea"},
+	}
+	for _, cat := range core.Categories() {
+		for _, e := range core.ByCategory(cat) {
+			impl := e.Package
+			if impl == "" {
+				impl = "(catalogued)"
+			}
+			t.AddRow(cat.String(), e.Name, e.Ref, impl, e.Description)
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d of %d catalogued protocols implemented; every category has ≥2 implementations",
+		core.ImplementedCount(), len(core.Taxonomy())))
+	return t, nil
+}
+
+// Fig2Discovery regenerates Fig. 2: AODV discovery on a dense highway —
+// RREQ floods away from the source while the RREP unicasts back — by
+// counting control transmissions per phase and verifying delivery, over
+// three independently seeded runs.
+func Fig2Discovery(cfg Config) (*Table, error) {
+	vehicles := 40
+	seeds := []int64{cfg.seed(), cfg.seed() + 1, cfg.seed() + 2}
+	if cfg.Quick {
+		vehicles = 30
+		seeds = seeds[:2]
+	}
+	t := &Table{
+		ID:      "fig2",
+		Title:   "AODV discovery + short flow (per-seed runs)",
+		Columns: []string{"seed", "delivered/sent", "PDR", "discoveries", "RREQ tx", "RREP tx", "mean hops", "delay(s)"},
+	}
+	totalDelivered := 0
+	for _, seed := range seeds {
+		sc, err := scenario.Build("AODV", scenario.Options{
+			Seed: seed, Vehicles: vehicles,
+			HighwayLength: 1200, SpeedStd: 2,
+			Flows: 2, FlowPackets: 5, Duration: 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum, err := sc.Run()
+		if err != nil {
+			return nil, err
+		}
+		ctl := sc.World.Collector().Control
+		totalDelivered += sum.DataDelivered
+		t.AddRow(fmt.Sprint(seed),
+			fmt.Sprintf("%d/%d", sum.DataDelivered, sum.DataSent),
+			fmtPct(sum.PDR), fmt.Sprint(sum.Discoveries),
+			fmt.Sprint(ctl[netstack.KindRREQ]), fmt.Sprint(ctl[netstack.KindRREP]),
+			fmtF(sum.MeanHops), fmtF(sum.MeanDelay))
+	}
+	t.Notes = append(t.Notes,
+		"RREQ spreads by flooding (tens of transmissions per discovery), the RREP unicasts back over the one selected path — the Fig. 2 asymmetry",
+		fmt.Sprintf("total delivered across seeds: %d", totalDelivered))
+	return t, nil
+}
+
+// Fig3LinkLifetime regenerates Fig. 3: link lifetime from Eqns 1-4 for the
+// same-direction case (a) and opposite-direction case (b), with and
+// without acceleration, validating the closed-form solver against
+// numerical integration of the same kinematics.
+func Fig3LinkLifetime(cfg Config) (*Table, error) {
+	const r = 250.0 // communication range (m)
+	const vm = 40.0 // speed limit v_m (m/s)
+	t := &Table{
+		ID:      "fig3",
+		Title:   "link lifetime vs relative speed (r=250 m, v_m=40 m/s)",
+		Columns: []string{"case", "dv (m/s)", "accel (m/s^2)", "analytic (s)", "numeric (s)", "err"},
+	}
+	type scen struct {
+		name   string
+		vi, vj float64
+		ai, aj float64
+		d0     float64
+	}
+	var scens []scen
+	for _, dv := range []float64{2, 5, 10, 20} {
+		// (a) same direction: follower i behind at d0=-100 m, faster by dv
+		scens = append(scens, scen{"same-dir", 25 + dv, 25, 0, 0, -100})
+		// (b) opposite direction modelled on the axis: j moves backward,
+		// relative speed 25+dv
+		scens = append(scens, scen{"opposite", 25, -dv, 0, 0, -100})
+	}
+	// acceleration variants of case (a)
+	scens = append(scens,
+		scen{"same-dir+acc", 27, 25, 1.0, 0, -100},
+		scen{"same-dir-dec", 30, 25, -1.0, 0, -100},
+		scen{"opp+acc", 25, -25, 1.0, -1.0, 0},
+	)
+	// direction-preserving speed clamp matching the analytic solver
+	speedFn := func(v0, a float64) func(float64) float64 {
+		lo, hi := -vm, vm
+		if v0 > 0 {
+			lo = 0
+		} else if v0 < 0 {
+			hi = 0
+		}
+		return func(t float64) float64 { return clampF(v0+a*t, lo, hi) }
+	}
+	for _, s := range scens {
+		i := link.Kinematics1D{X: s.d0, V: s.vi, A: s.ai}
+		j := link.Kinematics1D{X: 0, V: s.vj, A: s.aj}
+		analytic := link.Lifetime(i, j, r, vm)
+		numeric := link.LifetimeNumeric(
+			speedFn(s.vi, s.ai),
+			speedFn(s.vj, s.aj),
+			s.d0, r, 3600, 0.001,
+		)
+		errStr := "-"
+		if analytic != link.Forever && numeric != link.Forever {
+			errStr = fmt.Sprintf("%.2f%%", 100*math.Abs(analytic-numeric)/math.Max(numeric, 1e-9))
+		}
+		dv := s.vi - s.vj
+		t.AddRow(s.name, fmtF(dv), fmtF(s.ai-s.aj), fmtLife(analytic), fmtLife(numeric), errStr)
+	}
+	t.Notes = append(t.Notes,
+		"lifetime shrinks as |dv| grows; opposite-direction links (case b) live ~an order of magnitude shorter — the Fig. 3 geometry")
+	return t, nil
+}
+
+// Fig4Direction regenerates Fig. 4: the velocity-decomposition direction
+// classifier, and the measured mean link duration of same-direction vs
+// opposite-direction vehicle pairs on a bidirectional highway.
+func Fig4Direction(cfg Config) (*Table, error) {
+	duration := 120.0
+	vehicles := 60
+	if cfg.Quick {
+		duration = 60
+		vehicles = 40
+	}
+	net, eb, wb, err := roadnet.Highway(3000, 2, 36)
+	if err != nil {
+		return nil, err
+	}
+	rng := newRand(cfg.seed())
+	model := mobility.NewRoadModel(net, rng, mobility.ContinueRandom)
+	mobility.Populate(model, rng, mobility.PopulateOptions{
+		Count: vehicles / 2, SpeedMean: 28, SpeedStd: 5,
+		Segments: []roadnet.SegmentID{eb},
+	})
+	mobility.Populate(model, rng, mobility.PopulateOptions{
+		Count: vehicles / 2, SpeedMean: 28, SpeedStd: 5,
+		Segments: []roadnet.SegmentID{wb},
+	})
+
+	const r = 250.0
+	const dt = 0.1
+	type pairKey struct{ a, b mobility.VehicleID }
+	linkUp := make(map[pairKey]float64) // start time of current link
+	durSame, durOpp := []float64{}, []float64{}
+	classify := func(sa, sb mobility.State) link.DirectionClass {
+		return link.Classify(sa.Pos, sa.Vel, sb.Pos, sb.Vel)
+	}
+	for now := 0.0; now < duration; now += dt {
+		states := model.States()
+		index := make(map[pairKey]bool)
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				a, b := states[i], states[j]
+				k := pairKey{a.ID, b.ID}
+				inRange := a.Pos.Dist(b.Pos) <= r
+				if inRange {
+					index[k] = true
+					if _, up := linkUp[k]; !up {
+						linkUp[k] = now
+					}
+				} else if start, up := linkUp[k]; up {
+					delete(linkUp, k)
+					d := now - start
+					if classify(a, b) == link.OppositeDirection {
+						durOpp = append(durOpp, d)
+					} else {
+						durSame = append(durSame, d)
+					}
+				}
+			}
+		}
+		model.Advance(dt)
+	}
+	t := &Table{
+		ID:      "fig4",
+		Title:   "measured link duration by direction class (bidirectional highway)",
+		Columns: []string{"direction class", "links observed", "mean duration (s)", "max duration (s)"},
+	}
+	t.AddRow("same", fmt.Sprint(len(durSame)), fmtF(mean(durSame)), fmtF(maxF(durSame)))
+	t.AddRow("opposite", fmt.Sprint(len(durOpp)), fmtF(mean(durOpp)), fmtF(maxF(durOpp)))
+	ratio := mean(durSame) / math.Max(mean(durOpp), 1e-9)
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"same-direction links live %.1f× longer — the Fig. 4 rule's payoff (projections with agreeing signs → stable links)", ratio))
+	return t, nil
+}
+
+// Fig5RSU regenerates Fig. 5: infrastructure rescues sparse traffic. PDR
+// of the DRR (RSU-assisted) protocol vs vehicle density, with 0, 2, and 4
+// road-side units on a 2 km highway.
+func Fig5RSU(cfg Config) (*Table, error) {
+	densities := []int{8, 16, 32}
+	rsus := []int{0, 2, 4}
+	duration := 60.0
+	if cfg.Quick {
+		densities = []int{8, 20}
+		rsus = []int{0, 2}
+		duration = 40
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   "PDR vs density with road-side units (DRR protocol)",
+		Columns: []string{"vehicles", "RSUs", "PDR", "mean delay (s)", "delivered/sent"},
+	}
+	for _, v := range densities {
+		for _, n := range rsus {
+			rsuOpt := n
+			if rsuOpt == 0 {
+				rsuOpt = -1 // explicitly none: the Fig. 5 baseline
+			}
+			sum, err := scenario.RunProtocol("DRR", scenario.Options{
+				Seed: cfg.seed(), Vehicles: v, RSUs: rsuOpt,
+				HighwayLength: 3000, Duration: duration,
+				Flows: 4, FlowPackets: 20,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprint(v), fmt.Sprint(n),
+				fmtPct(sum.PDR), fmtF(sum.MeanDelay),
+				fmt.Sprintf("%d/%d", sum.DataDelivered, sum.DataSent))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"at low density the V2V path rarely exists; RSUs relay/buffer over the backbone (VEN), lifting PDR — Fig. 5's promise. The gain shrinks as density grows")
+	return t, nil
+}
+
+// Fig6Zones regenerates Fig. 6: geographic scoping suppresses the
+// duplicate storm. Flooding vs zone flooding vs gateway (LORA-DCBF)
+// clustering on the same dense highway: MAC transmissions and duplicate
+// deliveries per delivered packet.
+func Fig6Zones(cfg Config) (*Table, error) {
+	vehicles := 80
+	duration := 40.0
+	if cfg.Quick {
+		vehicles = 50
+		duration = 25
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "duplicate suppression: flooding vs zone vs gateway",
+		Columns: []string{"protocol", "PDR", "data transmits", "tx per delivered", "collision rate"},
+	}
+	for _, proto := range []string{"Flooding", "Zone", "LORA-DCBF"} {
+		sc, err := scenario.Build(proto, scenario.Options{
+			Seed: cfg.seed(), Vehicles: vehicles,
+			HighwayLength: 1500, Duration: duration,
+			Flows: 4, FlowPackets: 15,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum, err := sc.Run()
+		if err != nil {
+			return nil, err
+		}
+		// beacons are substrate, not dissemination cost: compare the
+		// data-plane transmissions only
+		dataTx := sc.World.Collector().DataForwarded
+		perDelivered := float64(dataTx)
+		if sum.DataDelivered > 0 {
+			perDelivered /= float64(sum.DataDelivered)
+		}
+		t.AddRow(proto, fmtPct(sum.PDR), fmt.Sprint(dataTx),
+			fmtF(perDelivered), fmtPct(sum.CollisionRate))
+	}
+	t.Notes = append(t.Notes,
+		"zone flooding confines rebroadcasts to the src-dst corridor; gateway clustering leaves one relay per cell — both cut duplicates and collisions vs flooding (Fig. 6's groups/gateways)")
+	return t, nil
+}
+
+func fmtLife(v float64) string {
+	if v == link.Forever {
+		return "inf"
+	}
+	return fmtF(v)
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxF(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

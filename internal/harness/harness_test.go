@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegisteredAndRunnable(t *testing.T) {
+	exps := All()
+	if len(exps) != 14 {
+		t.Fatalf("registered experiments = %d", len(exps))
+	}
+	wantIDs := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1",
+		"abl-storm", "abl-regimes", "abl-lifetime", "abl-probvsgeo", "abl-tickets", "abl-hybrid", "abl-disaster"}
+	for _, id := range wantIDs {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown experiment id resolved")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "bee"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	out := tab.String()
+	for _, want := range []string{"== x: demo ==", "a note", "bee"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1TaxonomyComplete(t *testing.T) {
+	tab, err := Fig1Taxonomy(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 25 {
+		t.Fatalf("taxonomy rows = %d, want the full Fig. 1 catalogue", len(tab.Rows))
+	}
+	categories := map[string]bool{}
+	for _, row := range tab.Rows {
+		categories[row[0]] = true
+	}
+	if len(categories) != 5 {
+		t.Fatalf("categories rendered = %d, want 5", len(categories))
+	}
+}
+
+func TestFig2DiscoveryDelivers(t *testing.T) {
+	tab, err := Fig2Discovery(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[3] == "0" {
+			t.Fatalf("no discovery in run %v:\n%s", row, tab)
+		}
+		rreq, _ := strconv.Atoi(row[4])
+		rrep, _ := strconv.Atoi(row[5])
+		if rreq > 0 && rrep > 0 && rreq <= rrep {
+			t.Fatalf("RREQ flood %d not above RREP unicast %d — the Fig. 2 asymmetry", rreq, rrep)
+		}
+	}
+	// at least one run must deliver (all-partitioned would be a regression)
+	delivered := false
+	for _, row := range tab.Rows {
+		if !strings.HasPrefix(row[1], "0/") {
+			delivered = true
+		}
+	}
+	if !delivered {
+		t.Fatalf("no run delivered anything:\n%s", tab)
+	}
+}
+
+func TestFig3AnalyticMatchesNumeric(t *testing.T) {
+	tab, err := Fig3LinkLifetime(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		errCol := row[5]
+		if errCol == "-" {
+			continue
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(errCol, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad err cell %q", errCol)
+		}
+		if pct > 1.0 {
+			t.Fatalf("analytic vs numeric error %v%% in row %v", pct, row)
+		}
+	}
+}
+
+func TestFig4SameDirectionOutlivesOpposite(t *testing.T) {
+	tab, err := Fig4Direction(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var same, opp float64
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		switch row[0] {
+		case "same":
+			same = v
+		case "opposite":
+			opp = v
+		}
+	}
+	if opp <= 0 || same <= 0 {
+		t.Fatalf("missing measurements:\n%s", tab)
+	}
+	if same <= 2*opp {
+		t.Fatalf("same-direction %v s not decisively above opposite %v s", same, opp)
+	}
+}
+
+func TestFig5RSUsHelpSparseTraffic(t *testing.T) {
+	tab, err := Fig5RSU(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// at the sparsest density, PDR with RSUs must beat PDR without
+	var base, assisted float64
+	for _, row := range tab.Rows {
+		if row[0] != tab.Rows[0][0] {
+			continue // only the sparsest density rows
+		}
+		pdr, _ := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if row[1] == "0" {
+			base = pdr
+		} else if pdr > assisted {
+			assisted = pdr
+		}
+	}
+	if assisted <= base {
+		t.Fatalf("RSUs did not lift sparse PDR: %v%% → %v%%\n%s", base, assisted, tab)
+	}
+}
+
+func TestFig6ZonesSuppressDuplication(t *testing.T) {
+	tab, err := Fig6Zones(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		tx[row[0]] = v
+	}
+	if !(tx["Zone"] < tx["Flooding"]) {
+		t.Fatalf("zone transmissions %v not below flooding %v", tx["Zone"], tx["Flooding"])
+	}
+	if !(tx["LORA-DCBF"] < tx["Flooding"]) {
+		t.Fatalf("gateway transmissions %v not below flooding %v", tx["LORA-DCBF"], tx["Flooding"])
+	}
+}
+
+func TestAblationHybridRuns(t *testing.T) {
+	tab, err := AblationHybrid(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	protos := map[string]bool{}
+	for _, row := range tab.Rows {
+		protos[row[0]] = true
+	}
+	if !protos["Hybrid"] || !protos["TBP-SS"] || !protos["PBR"] {
+		t.Fatalf("missing protocols: %v", protos)
+	}
+}
+
+func TestAblationDisasterDegradesGracefully(t *testing.T) {
+	tab, err := AblationDisaster(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdr := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		pdr[row[0]] = v
+	}
+	healthy := pdr["DRR, RSUs healthy"]
+	damaged := pdr["DRR, RSUs destroyed at t/2"]
+	if damaged >= healthy {
+		t.Fatalf("destroying the RSUs did not hurt: %v%% vs healthy %v%%\n%s", damaged, healthy, tab)
+	}
+}
+
+func rowMap(t *Table) map[string]string {
+	out := map[string]string{}
+	for _, row := range t.Rows {
+		if len(row) >= 2 {
+			out[row[0]] = row[1]
+		}
+	}
+	return out
+}

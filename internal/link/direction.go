@@ -1,0 +1,104 @@
+package link
+
+import (
+	"math"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+// DirectionClass buckets a pair of vehicle velocities the way the surveyed
+// mobility-based protocols do: Taleb groups vehicles by velocity vector and
+// prefers links whose endpoints move together; Abedi treats direction as
+// the most important next-hop parameter.
+type DirectionClass int
+
+const (
+	// SameDirection means both velocity projections agree along the axis
+	// joining the vehicles (Fig. 4's decomposition rule).
+	SameDirection DirectionClass = iota + 1
+	// OppositeDirection means the horizontal projections conflict: the
+	// vehicles approach or separate head-on, giving the shortest links.
+	OppositeDirection
+	// CrossingDirection means the perpendicular components conflict while
+	// the along-axis ones agree (e.g. a turning vehicle).
+	CrossingDirection
+	// Stationary means at least one vehicle is not moving; direction
+	// carries no information.
+	Stationary
+)
+
+// String implements fmt.Stringer.
+func (c DirectionClass) String() string {
+	switch c {
+	case SameDirection:
+		return "same"
+	case OppositeDirection:
+		return "opposite"
+	case CrossingDirection:
+		return "crossing"
+	case Stationary:
+		return "stationary"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify applies the Fig. 4 decomposition: project both velocities on the
+// axis joining vehicle a to vehicle b and on its perpendicular, then
+// compare signs of the projections.
+func Classify(posA, velA, posB, velB geom.Vec2) DirectionClass {
+	const still = 0.1 // m/s below which a vehicle counts as stationary
+	if velA.Len() < still || velB.Len() < still {
+		return Stationary
+	}
+	axis := posB.Sub(posA).Unit()
+	if axis.IsZero() {
+		axis = geom.V(1, 0)
+	}
+	perp := geom.V(-axis.Y, axis.X)
+	ah, bh := velA.Dot(axis), velB.Dot(axis)
+	av, bv := velA.Dot(perp), velB.Dot(perp)
+	const tol = 1e-9
+	horizontalAgree := ah*bh >= -tol
+	verticalAgree := av*bv >= -tol
+	switch {
+	case horizontalAgree && verticalAgree:
+		return SameDirection
+	case !horizontalAgree:
+		return OppositeDirection
+	default:
+		return CrossingDirection
+	}
+}
+
+// HeadingGroup assigns a velocity to one of four heading quadrants
+// (N/E/S/W), the grouping Taleb's protocol uses to cluster vehicles with
+// similar velocity vectors.
+func HeadingGroup(vel geom.Vec2) int {
+	if vel.Len() < 0.1 {
+		return 0 // stationary group
+	}
+	ang := math.Atan2(vel.Y, vel.X) // (-π, π]
+	switch {
+	case ang >= -math.Pi/4 && ang < math.Pi/4:
+		return 1 // east
+	case ang >= math.Pi/4 && ang < 3*math.Pi/4:
+		return 2 // north
+	case ang >= -3*math.Pi/4 && ang < -math.Pi/4:
+		return 4 // south
+	default:
+		return 3 // west
+	}
+}
+
+// SpeedSimilarity returns a score in [0,1] expressing how alike two speeds
+// are; 1 means identical. Abedi's protocol uses speed as its third
+// selection criterion after direction and position.
+func SpeedSimilarity(va, vb geom.Vec2) float64 {
+	sa, sb := va.Len(), vb.Len()
+	if sa == 0 && sb == 0 {
+		return 1
+	}
+	max := math.Max(sa, sb)
+	return 1 - math.Abs(sa-sb)/max
+}

@@ -1,0 +1,119 @@
+package link
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+func TestClassify(t *testing.T) {
+	a := geom.V(0, 0)
+	b := geom.V(100, 0)
+	tests := []struct {
+		name       string
+		velA, velB geom.Vec2
+		want       DirectionClass
+	}{
+		{"both-east", geom.V(30, 0), geom.V(25, 0), SameDirection},
+		{"head-on", geom.V(30, 0), geom.V(-25, 0), OppositeDirection},
+		{"a-stationary", geom.V(0, 0), geom.V(25, 0), Stationary},
+		{"b-stationary", geom.V(30, 0), geom.V(0.01, 0), Stationary},
+		{"crossing", geom.V(30, 5), geom.V(25, -5), CrossingDirection},
+		{"both-west", geom.V(-30, 0), geom.V(-25, 0), SameDirection},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(a, tc.velA, b, tc.velB); got != tc.want {
+				t.Errorf("Classify = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestClassifySymmetricRoles(t *testing.T) {
+	// swapping the pair must not change same/opposite classification
+	a, b := geom.V(0, 0), geom.V(80, 40)
+	va, vb := geom.V(20, 10), geom.V(-15, -8)
+	if Classify(a, va, b, vb) != Classify(b, vb, a, va) {
+		t.Error("classification not symmetric under swapping the pair")
+	}
+}
+
+func TestDirectionClassString(t *testing.T) {
+	for cls, want := range map[DirectionClass]string{
+		SameDirection:     "same",
+		OppositeDirection: "opposite",
+		CrossingDirection: "crossing",
+		Stationary:        "stationary",
+		DirectionClass(0): "unknown",
+	} {
+		if cls.String() != want {
+			t.Errorf("%d.String() = %q, want %q", cls, cls.String(), want)
+		}
+	}
+}
+
+func TestHeadingGroup(t *testing.T) {
+	tests := []struct {
+		vel  geom.Vec2
+		want int
+	}{
+		{geom.V(30, 0), 1},  // east
+		{geom.V(0, 30), 2},  // north
+		{geom.V(-30, 0), 3}, // west
+		{geom.V(0, -30), 4}, // south
+		{geom.V(0, 0), 0},   // stationary
+		{geom.V(20, 20.1), 2},
+		{geom.V(20, -19), 1},
+	}
+	for _, tc := range tests {
+		if got := HeadingGroup(tc.vel); got != tc.want {
+			t.Errorf("HeadingGroup(%v) = %d, want %d", tc.vel, got, tc.want)
+		}
+	}
+}
+
+func TestHeadingGroupCoversCircle(t *testing.T) {
+	// every moving heading falls in exactly one of groups 1..4
+	for deg := 0; deg < 360; deg++ {
+		rad := float64(deg) * math.Pi / 180
+		v := geom.V(10*math.Cos(rad), 10*math.Sin(rad))
+		g := HeadingGroup(v)
+		if g < 1 || g > 4 {
+			t.Fatalf("heading %d° → group %d", deg, g)
+		}
+	}
+}
+
+func TestSpeedSimilarity(t *testing.T) {
+	if got := SpeedSimilarity(geom.V(30, 0), geom.V(30, 0)); got != 1 {
+		t.Errorf("identical speeds similarity = %v", got)
+	}
+	if got := SpeedSimilarity(geom.V(0, 0), geom.V(0, 0)); got != 1 {
+		t.Errorf("both stationary similarity = %v", got)
+	}
+	if got := SpeedSimilarity(geom.V(30, 0), geom.V(15, 0)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half speed similarity = %v, want 0.5", got)
+	}
+	if got := SpeedSimilarity(geom.V(30, 0), geom.V(0, 0)); got != 0 {
+		t.Errorf("stationary vs moving similarity = %v, want 0", got)
+	}
+	// direction does not matter, only magnitude
+	if got := SpeedSimilarity(geom.V(30, 0), geom.V(0, 30)); got != 1 {
+		t.Errorf("same magnitude different heading = %v, want 1", got)
+	}
+}
+
+func TestSameDirectionLinksLiveLonger(t *testing.T) {
+	// the Fig. 4 payoff, analytically: same-direction pair outlives the
+	// opposite-direction pair with the same speeds and gap
+	same := LifetimeVec(geom.V(0, 0), geom.V(30, 0), geom.V(100, 0), geom.V(25, 0), 250)
+	opp := LifetimeVec(geom.V(0, 0), geom.V(30, 0), geom.V(100, 0), geom.V(-25, 0), 250)
+	if same <= opp {
+		t.Fatalf("same-direction lifetime %v not longer than opposite %v", same, opp)
+	}
+	if opp <= 0 || opp > 10 {
+		t.Fatalf("opposite lifetime %v outside plausible (0,10]s", opp)
+	}
+}

@@ -1,0 +1,300 @@
+// Package mac implements a simplified CSMA broadcast MAC over the channel
+// models: frames occupy airtime, senders defer while the medium around
+// them is busy, and receptions that overlap in time at a receiver are
+// destroyed. That is the minimum realism needed to reproduce the broadcast
+// storm problem (Ni et al. [5]) that Table I's "connectivity" row hinges
+// on, without modelling full 802.11p EDCA.
+package mac
+
+import (
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/sim"
+	"github.com/vanetlab/relroute/internal/spatial"
+)
+
+// Broadcast is the link-layer broadcast address.
+const Broadcast int32 = -1
+
+// Frame is one link-layer transmission.
+type Frame struct {
+	From    int32
+	To      int32 // Broadcast or a node id
+	Size    int   // bytes, including headers
+	Payload any
+
+	attempts int // link-layer retransmissions so far (unicast ARQ)
+}
+
+// Config holds MAC parameters.
+type Config struct {
+	// BitRate in bits/s. Zero means 6 Mb/s (the 802.11p base rate).
+	BitRate float64
+	// MaxBackoff is the maximum random access delay in seconds drawn
+	// before each transmission attempt. Zero means 2 ms.
+	MaxBackoff float64
+	// MaxRetries bounds busy-medium deferrals per frame. Zero means 7.
+	MaxRetries int
+	// QueueCap bounds the per-node transmit queue. Zero means 64.
+	QueueCap int
+	// LinkRetries is the unicast ARQ budget: how many times a unicast
+	// frame is retransmitted when the addressed receiver did not decode
+	// it (802.11-style retry, observed via the simulator's omniscient
+	// channel state rather than explicit ACK frames). Zero means 4; −1
+	// disables ARQ.
+	LinkRetries int
+}
+
+func (c Config) bitRate() float64 {
+	if c.BitRate <= 0 {
+		return 6e6
+	}
+	return c.BitRate
+}
+
+func (c Config) maxBackoff() float64 {
+	if c.MaxBackoff <= 0 {
+		return 2e-3
+	}
+	return c.MaxBackoff
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries <= 0 {
+		return 7
+	}
+	return c.MaxRetries
+}
+
+func (c Config) queueCap() int {
+	if c.QueueCap <= 0 {
+		return 64
+	}
+	return c.QueueCap
+}
+
+func (c Config) linkRetries() int {
+	if c.LinkRetries < 0 {
+		return 0
+	}
+	if c.LinkRetries == 0 {
+		return 4
+	}
+	return c.LinkRetries
+}
+
+// reception tracks one in-flight frame arriving at one receiver.
+type reception struct {
+	frame    Frame
+	end      float64
+	decoded  bool // channel draw said the frame is decodable
+	collided bool
+}
+
+// nodeState is the per-node MAC state.
+type nodeState struct {
+	queue   []Frame
+	sending bool
+	txUntil float64      // sender busy until (own transmission)
+	active  []*reception // receptions currently on the air at this node
+	retries int
+}
+
+// Layer is the shared MAC instance. All nodes transmit through it; it owns
+// the collision bookkeeping.
+type Layer struct {
+	eng     *sim.Engine
+	ch      channel.Model
+	grid    *spatial.Grid
+	cfg     Config
+	rng     *rand.Rand
+	col     *metrics.Collector
+	deliver func(to int32, f Frame)
+	fail    func(from int32, f Frame)
+	nodes   map[int32]*nodeState
+	scratch []int32
+}
+
+// NewLayer wires the MAC to the engine, channel, spatial index and metrics
+// collector. deliver is the upcall invoked for every successfully received
+// frame; fail is invoked at the sender when a unicast frame exhausts its
+// ARQ budget without the addressed receiver decoding it (the 802.11
+// "transmission failure" indication upper layers key link-break detection
+// on). fail may be nil.
+func NewLayer(eng *sim.Engine, ch channel.Model, grid *spatial.Grid, cfg Config, col *metrics.Collector, deliver func(to int32, f Frame), fail func(from int32, f Frame)) *Layer {
+	return &Layer{
+		eng: eng, ch: ch, grid: grid, cfg: cfg,
+		rng: eng.Rand(), col: col, deliver: deliver, fail: fail,
+		nodes: make(map[int32]*nodeState),
+	}
+}
+
+func (l *Layer) state(id int32) *nodeState {
+	st, ok := l.nodes[id]
+	if !ok {
+		st = &nodeState{}
+		l.nodes[id] = st
+	}
+	return st
+}
+
+// Send enqueues a frame for transmission from frame.From. Frames beyond the
+// queue cap are dropped (and counted as channel loss).
+func (l *Layer) Send(f Frame) {
+	st := l.state(f.From)
+	if len(st.queue) >= l.cfg.queueCap() {
+		l.col.MACChannelLoss++
+		return
+	}
+	st.queue = append(st.queue, f)
+	if !st.sending {
+		st.sending = true
+		l.scheduleAttempt(f.From, st)
+	}
+}
+
+// scheduleAttempt arms the backoff timer for the head-of-queue frame.
+func (l *Layer) scheduleAttempt(id int32, st *nodeState) {
+	backoff := l.rng.Float64() * l.cfg.maxBackoff()
+	l.eng.After(backoff, func() { l.attempt(id, st) })
+}
+
+// attempt transmits the head-of-queue frame if the medium is idle at the
+// sender, otherwise defers.
+func (l *Layer) attempt(id int32, st *nodeState) {
+	if len(st.queue) == 0 {
+		st.sending = false
+		return
+	}
+	if l.mediumBusy(id, st) {
+		st.retries++
+		if st.retries > l.cfg.maxRetries() {
+			// give up on this frame
+			st.queue = st.queue[1:]
+			st.retries = 0
+			l.col.MACChannelLoss++
+			if len(st.queue) == 0 {
+				st.sending = false
+				return
+			}
+		}
+		l.scheduleAttempt(id, st)
+		return
+	}
+	st.retries = 0
+	f := st.queue[0]
+	st.queue = st.queue[1:]
+	l.transmit(id, st, f)
+}
+
+// mediumBusy reports whether the node senses ongoing traffic: its own
+// transmission or any audible reception.
+func (l *Layer) mediumBusy(id int32, st *nodeState) bool {
+	now := l.eng.Now()
+	if st.txUntil > now {
+		return true
+	}
+	l.pruneActive(st, now)
+	return len(st.active) > 0
+}
+
+func (l *Layer) pruneActive(st *nodeState, now float64) {
+	keep := st.active[:0]
+	for _, r := range st.active {
+		if r.end > now {
+			keep = append(keep, r)
+		}
+	}
+	st.active = keep
+}
+
+// transmit puts the frame on the air: for every candidate receiver within
+// the channel's maximum range the frame becomes an active reception; when
+// it ends, it is delivered unless a concurrent reception collided with it.
+func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
+	now := l.eng.Now()
+	airtime := float64(f.Size*8) / l.cfg.bitRate()
+	st.txUntil = now + airtime
+	l.col.MACTransmits++
+
+	var unicastRec *reception
+	pos, ok := l.grid.Position(from)
+	if ok {
+		l.scratch = l.grid.Within(pos, l.ch.MaxRange(), l.scratch[:0])
+		for _, rx := range l.scratch {
+			if rx == from {
+				continue
+			}
+			rxPos, _ := l.grid.Position(rx)
+			d := rxPos.Dist(pos)
+			rec := &reception{
+				frame:   f,
+				end:     now + airtime,
+				decoded: l.ch.Decodable(d, l.rng),
+			}
+			rxState := l.state(rx)
+			l.pruneActive(rxState, now)
+			// any temporal overlap destroys both frames (no capture)
+			for _, other := range rxState.active {
+				other.collided = true
+				rec.collided = true
+			}
+			rxState.active = append(rxState.active, rec)
+			if f.To == rx {
+				unicastRec = rec
+			}
+			rxID := rx
+			l.eng.After(airtime, func() { l.finishReception(rxID, rec) })
+		}
+	}
+	// After the airtime: resolve unicast ARQ, then start the next frame.
+	// Receiver-side finishReception events were scheduled first, so by the
+	// time this fires the addressed receiver's outcome is final.
+	l.eng.After(airtime, func() {
+		if f.To != Broadcast {
+			success := unicastRec != nil && unicastRec.decoded && !unicastRec.collided
+			if !success {
+				if f.attempts < l.cfg.linkRetries() {
+					retry := f
+					retry.attempts++
+					// retransmissions cut the line: prepend to the queue
+					st.queue = append([]Frame{retry}, st.queue...)
+				} else {
+					l.col.MACChannelLoss++
+					if l.fail != nil {
+						l.fail(from, f)
+					}
+				}
+			}
+		}
+		if len(st.queue) == 0 {
+			st.sending = false
+			return
+		}
+		l.scheduleAttempt(from, st)
+	})
+}
+
+// finishReception resolves one reception at its end time.
+func (l *Layer) finishReception(rx int32, rec *reception) {
+	st := l.state(rx)
+	// remove from active list
+	for i, r := range st.active {
+		if r == rec {
+			st.active[i] = st.active[len(st.active)-1]
+			st.active = st.active[:len(st.active)-1]
+			break
+		}
+	}
+	switch {
+	case rec.collided && rec.decoded:
+		l.col.MACCollisions++
+	case !rec.decoded:
+		l.col.MACChannelLoss++
+	default:
+		l.col.MACDelivered++
+		l.deliver(rx, rec.frame)
+	}
+}

@@ -1,0 +1,214 @@
+package mac
+
+import (
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/sim"
+	"github.com/vanetlab/relroute/internal/spatial"
+)
+
+type fixture struct {
+	eng   *sim.Engine
+	grid  *spatial.Grid
+	col   *metrics.Collector
+	layer *Layer
+	rx    []Frame
+	rxBy  map[int32][]Frame
+	fails []Frame
+}
+
+func newFixture(cfg Config, rangeM float64) *fixture {
+	f := &fixture{
+		eng:  sim.NewEngine(1),
+		grid: spatial.NewGrid(rangeM),
+		col:  metrics.NewCollector(),
+		rxBy: make(map[int32][]Frame),
+	}
+	f.layer = NewLayer(f.eng, channel.UnitDisk{Range: rangeM}, f.grid, cfg, f.col,
+		func(to int32, fr Frame) {
+			f.rx = append(f.rx, fr)
+			f.rxBy[to] = append(f.rxBy[to], fr)
+		},
+		func(from int32, fr Frame) { f.fails = append(f.fails, fr) },
+	)
+	return f
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	f := newFixture(Config{}, 250)
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(1, geom.V(100, 0))
+	f.grid.Update(2, geom.V(200, 0))
+	f.grid.Update(3, geom.V(600, 0)) // out of range
+	f.layer.Send(Frame{From: 0, To: Broadcast, Size: 100, Payload: "x"})
+	if err := f.eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rxBy[1]) != 1 || len(f.rxBy[2]) != 1 {
+		t.Fatalf("in-range receivers got %d/%d frames", len(f.rxBy[1]), len(f.rxBy[2]))
+	}
+	if len(f.rxBy[3]) != 0 {
+		t.Fatal("out-of-range receiver got the frame")
+	}
+	if len(f.rxBy[0]) != 0 {
+		t.Fatal("sender received its own frame")
+	}
+	if f.col.MACTransmits != 1 {
+		t.Fatalf("transmits = %d", f.col.MACTransmits)
+	}
+}
+
+func TestUnicastOnlyAddresseeGetsUpcall(t *testing.T) {
+	// The MAC delivers every decodable frame; filtering to the addressee
+	// happens in the netstack dispatch. Here both hear it.
+	f := newFixture(Config{}, 250)
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(1, geom.V(50, 0))
+	f.grid.Update(2, geom.V(100, 0))
+	f.layer.Send(Frame{From: 0, To: 1, Size: 100})
+	if err := f.eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rxBy[1]) != 1 {
+		t.Fatal("addressee did not receive")
+	}
+}
+
+func TestCollisionOnSimultaneousSend(t *testing.T) {
+	// Two senders out of carrier-sense range of each other, both in range
+	// of the middle receiver: the classic hidden-terminal collision.
+	f := newFixture(Config{MaxBackoff: 1e-9}, 250)
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(1, geom.V(240, 0)) // receiver in range of both
+	f.grid.Update(2, geom.V(480, 0)) // 480 m from node 0: hidden
+	f.layer.Send(Frame{From: 0, To: Broadcast, Size: 1500})
+	f.layer.Send(Frame{From: 2, To: Broadcast, Size: 1500})
+	if err := f.eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rxBy[1]) != 0 {
+		t.Fatalf("receiver decoded %d frames through a collision", len(f.rxBy[1]))
+	}
+	if f.col.MACCollisions == 0 {
+		t.Fatal("no collisions recorded")
+	}
+}
+
+func TestCarrierSenseDefers(t *testing.T) {
+	// Two senders within carrier-sense range: the second defers and both
+	// frames get through.
+	f := newFixture(Config{}, 250)
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(1, geom.V(100, 0))
+	f.grid.Update(2, geom.V(50, 0)) // receiver hears both
+	f.layer.Send(Frame{From: 0, To: Broadcast, Size: 1500})
+	f.layer.Send(Frame{From: 1, To: Broadcast, Size: 1500})
+	if err := f.eng.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rxBy[2]) != 2 {
+		t.Fatalf("receiver got %d of 2 frames", len(f.rxBy[2]))
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// every potential reception resolves exactly once: delivered,
+	// collided, or channel-lost
+	f := newFixture(Config{MaxBackoff: 1e-6}, 250)
+	for i := int32(0); i < 10; i++ {
+		f.grid.Update(i, geom.V(float64(i)*60, 0))
+	}
+	const frames = 40
+	for k := 0; k < frames; k++ {
+		f.layer.Send(Frame{From: int32(k % 10), To: Broadcast, Size: 400})
+	}
+	if err := f.eng.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	resolved := f.col.MACDelivered + f.col.MACCollisions + f.col.MACChannelLoss
+	if resolved == 0 {
+		t.Fatal("nothing resolved")
+	}
+	if f.col.MACDelivered != len(f.rx) {
+		t.Fatalf("delivered counter %d != upcalls %d", f.col.MACDelivered, len(f.rx))
+	}
+	if f.eng.Pending() != 0 {
+		t.Fatalf("%d events still pending after drain", f.eng.Pending())
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	f := newFixture(Config{QueueCap: 2, MaxBackoff: 10}, 250) // huge backoff jams the queue
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(1, geom.V(10, 0))
+	for i := 0; i < 10; i++ {
+		f.layer.Send(Frame{From: 0, To: Broadcast, Size: 100})
+	}
+	if f.col.MACChannelLoss < 7 {
+		t.Fatalf("queue overflow losses = %d, want ≥7", f.col.MACChannelLoss)
+	}
+}
+
+func TestUnicastARQRecoversOnRetry(t *testing.T) {
+	// Receiver is in range, but a colliding hidden transmission destroys
+	// the first attempt; ARQ must retry and succeed.
+	f := newFixture(Config{MaxBackoff: 1e-9, LinkRetries: 4}, 250)
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(1, geom.V(240, 0))
+	f.grid.Update(2, geom.V(480, 0))
+	f.layer.Send(Frame{From: 0, To: 1, Size: 1500})
+	f.layer.Send(Frame{From: 2, To: Broadcast, Size: 1500}) // collides once
+	if err := f.eng.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rxBy[1]) == 0 {
+		t.Fatal("unicast never recovered despite ARQ")
+	}
+	if len(f.fails) != 0 {
+		t.Fatalf("fail upcall fired despite eventual success: %d", len(f.fails))
+	}
+}
+
+func TestUnicastFailureUpcall(t *testing.T) {
+	f := newFixture(Config{LinkRetries: 2}, 250)
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(9, geom.V(10000, 0)) // addressee far out of range
+	f.layer.Send(Frame{From: 0, To: 9, Size: 100, Payload: "gone"})
+	if err := f.eng.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.fails) != 1 {
+		t.Fatalf("fail upcalls = %d, want 1", len(f.fails))
+	}
+	if f.fails[0].Payload != "gone" {
+		t.Fatal("failed frame payload lost")
+	}
+	// broadcast frames never trigger the failure upcall
+	f2 := newFixture(Config{LinkRetries: 2}, 250)
+	f2.grid.Update(0, geom.V(0, 0))
+	f2.layer.Send(Frame{From: 0, To: Broadcast, Size: 100})
+	if err := f2.eng.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.fails) != 0 {
+		t.Fatal("broadcast triggered failure upcall")
+	}
+}
+
+func TestAirtimeScalesWithSize(t *testing.T) {
+	f := newFixture(Config{BitRate: 1e6, MaxBackoff: 1e-12}, 250)
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(1, geom.V(10, 0))
+	var deliveredAt float64
+	f.layer.deliver = func(to int32, fr Frame) { deliveredAt = f.eng.Now() }
+	f.layer.Send(Frame{From: 0, To: Broadcast, Size: 1000}) // 8000 bits at 1 Mb/s = 8 ms
+	if err := f.eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredAt < 0.008 || deliveredAt > 0.009 {
+		t.Fatalf("delivery at %v, want ≈8 ms airtime", deliveredAt)
+	}
+}

@@ -1,0 +1,247 @@
+// Package metrics collects the quantities every experiment reports: packet
+// delivery ratio, end-to-end delay, control overhead, MAC collisions, path
+// lifetime, and route-repair counts. One Collector is shared per scenario
+// run so protocol categories are compared on identical accounting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Collector accumulates counters for one simulation run. It is not safe
+// for concurrent use; the single-threaded engine owns it.
+type Collector struct {
+	// data plane
+	DataSent      int // data packets originated by applications
+	DataDelivered int // data packets that reached their destination
+	DataDuplicate int // duplicate deliveries suppressed at destination
+	DataDropped   int // data packets dropped (TTL, queue, no route)
+	DataForwarded int // data transmissions by intermediate nodes
+
+	// control plane, keyed by packet type name (RREQ, RREP, HELLO, ...)
+	Control map[string]int
+	// ControlBytes accumulates control packet sizes.
+	ControlBytes int
+	// DataBytes accumulates data packet sizes (all transmissions).
+	DataBytes int
+
+	// MAC layer
+	MACTransmits   int // frames handed to the radio
+	MACDelivered   int // frame receptions delivered up the stack
+	MACCollisions  int // receptions destroyed by collisions
+	MACChannelLoss int // receptions lost to channel fading
+
+	// routing events
+	RouteDiscoveries int // discovery rounds initiated
+	RouteBreaks      int // links/routes detected broken
+	RouteRepairs     int // successful re-establishments
+
+	delays    []float64 // seconds, one per delivered packet
+	hops      []int     // hop counts of delivered packets
+	pathLives []float64 // observed lifetimes of established paths
+
+	deliveredByUID map[uint64]bool
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		Control:        make(map[string]int),
+		deliveredByUID: make(map[uint64]bool),
+	}
+}
+
+// OnDataSent records an application-layer origination.
+func (c *Collector) OnDataSent() { c.DataSent++ }
+
+// OnDataDelivered records a first-time delivery with its end-to-end delay
+// and hop count. Duplicate deliveries of the same UID are counted
+// separately and do not skew delay statistics. It reports whether the
+// delivery was a first.
+func (c *Collector) OnDataDelivered(uid uint64, delay float64, hops int) bool {
+	if c.deliveredByUID[uid] {
+		c.DataDuplicate++
+		return false
+	}
+	c.deliveredByUID[uid] = true
+	c.DataDelivered++
+	c.delays = append(c.delays, delay)
+	c.hops = append(c.hops, hops)
+	return true
+}
+
+// OnControl records a control-plane transmission of the given type and
+// size in bytes.
+func (c *Collector) OnControl(kind string, bytes int) {
+	c.Control[kind]++
+	c.ControlBytes += bytes
+}
+
+// OnPathLifetime records the observed lifetime of an established path.
+func (c *Collector) OnPathLifetime(seconds float64) {
+	c.pathLives = append(c.pathLives, seconds)
+}
+
+// PDR returns the packet delivery ratio in [0,1].
+func (c *Collector) PDR() float64 {
+	if c.DataSent == 0 {
+		return 0
+	}
+	return float64(c.DataDelivered) / float64(c.DataSent)
+}
+
+// MeanDelay returns the mean end-to-end delay of delivered packets.
+func (c *Collector) MeanDelay() float64 { return mean(c.delays) }
+
+// P95Delay returns the 95th-percentile delay.
+func (c *Collector) P95Delay() float64 { return percentile(c.delays, 0.95) }
+
+// MeanHops returns the mean hop count of delivered packets.
+func (c *Collector) MeanHops() float64 {
+	if len(c.hops) == 0 {
+		return 0
+	}
+	s := 0
+	for _, h := range c.hops {
+		s += h
+	}
+	return float64(s) / float64(len(c.hops))
+}
+
+// MeanPathLifetime returns the mean observed path lifetime.
+func (c *Collector) MeanPathLifetime() float64 { return mean(c.pathLives) }
+
+// ControlTotal returns the total number of control transmissions.
+func (c *Collector) ControlTotal() int {
+	t := 0
+	for _, v := range c.Control {
+		t += v
+	}
+	return t
+}
+
+// OverheadRatio returns control transmissions per delivered data packet,
+// the survey's "overhead" con. Infinite overhead (nothing delivered) is
+// reported as the control count itself to keep tables finite.
+func (c *Collector) OverheadRatio() float64 {
+	ctl := float64(c.ControlTotal())
+	if c.DataDelivered == 0 {
+		return ctl
+	}
+	return ctl / float64(c.DataDelivered)
+}
+
+// DuplicateRatio returns duplicate deliveries per delivered packet, the
+// broadcast-storm indicator.
+func (c *Collector) DuplicateRatio() float64 {
+	if c.DataDelivered == 0 {
+		return 0
+	}
+	return float64(c.DataDuplicate) / float64(c.DataDelivered)
+}
+
+// CollisionRate returns the fraction of potential receptions destroyed by
+// collisions.
+func (c *Collector) CollisionRate() float64 {
+	total := c.MACDelivered + c.MACCollisions + c.MACChannelLoss
+	if total == 0 {
+		return 0
+	}
+	return float64(c.MACCollisions) / float64(total)
+}
+
+// Summary is a flattened snapshot used by the experiment harness tables.
+type Summary struct {
+	Protocol      string
+	Scenario      string
+	PDR           float64
+	MeanDelay     float64
+	P95Delay      float64
+	MeanHops      float64
+	Overhead      float64
+	DupRatio      float64
+	CollisionRate float64
+	Discoveries   int
+	Breaks        int
+	Repairs       int
+	PathLifetime  float64
+	DataSent      int
+	DataDelivered int
+	MACTransmits  int
+	ControlTotal  int
+}
+
+// Summarize produces the snapshot, labelled with protocol and scenario
+// names.
+func (c *Collector) Summarize(protocol, scenario string) Summary {
+	return Summary{
+		Protocol:      protocol,
+		Scenario:      scenario,
+		PDR:           c.PDR(),
+		MeanDelay:     c.MeanDelay(),
+		P95Delay:      c.P95Delay(),
+		MeanHops:      c.MeanHops(),
+		Overhead:      c.OverheadRatio(),
+		DupRatio:      c.DuplicateRatio(),
+		CollisionRate: c.CollisionRate(),
+		Discoveries:   c.RouteDiscoveries,
+		Breaks:        c.RouteBreaks,
+		Repairs:       c.RouteRepairs,
+		PathLifetime:  c.MeanPathLifetime(),
+		DataSent:      c.DataSent,
+		DataDelivered: c.DataDelivered,
+		MACTransmits:  c.MACTransmits,
+		ControlTotal:  c.ControlTotal(),
+	}
+}
+
+// String renders a one-line human summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s/%s: PDR=%.2f delay=%.3fs hops=%.1f overhead=%.1f dup=%.2f coll=%.2f",
+		s.Protocol, s.Scenario, s.PDR, s.MeanDelay, s.MeanHops, s.Overhead, s.DupRatio, s.CollisionRate)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(math.Ceil(p*float64(len(cp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// Series is a labelled sequence of (x, y) points, the unit the harness
+// renders figures from.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}

@@ -1,0 +1,437 @@
+// Package mobility moves vehicles over a road network. It provides the
+// Intelligent Driver Model (IDM) for car-following, a simple incentive-based
+// lane-change rule, route progression at junctions, and a trace-playback
+// adapter, all behind a single Model interface the network stack polls each
+// mobility tick.
+//
+// The survey's premise is that "cars in various lanes move at different
+// speed, making the underlying network highly dynamic"; this package is the
+// source of that dynamism, so its realism bar is: heterogeneous speeds,
+// lane structure, direction mix, and density regimes from sparse to jammed.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/roadnet"
+)
+
+// VehicleID identifies a vehicle within a Model. IDs are dense, starting at
+// zero, and never reused.
+type VehicleID int32
+
+// State is the externally visible kinematic state of a vehicle.
+type State struct {
+	ID      VehicleID
+	Pos     geom.Vec2 // plane position, meters
+	Vel     geom.Vec2 // velocity vector, m/s
+	Speed   float64   // scalar speed, m/s
+	Accel   float64   // scalar acceleration along heading, m/s²
+	Segment roadnet.SegmentID
+	Lane    int
+	Offset  float64 // meters along the segment
+	Class   Class
+}
+
+// Class tags special vehicle roles the protocols care about.
+type Class int
+
+const (
+	// Car is an ordinary vehicle.
+	Car Class = iota + 1
+	// Bus is a message-ferry bus on a regular route (Kitani's protocol).
+	Bus
+)
+
+// Model is the interface the simulation polls. Advance moves every vehicle
+// by dt seconds; States returns the current state of every active vehicle.
+type Model interface {
+	Advance(dt float64)
+	States() []State
+	// Len returns the number of active vehicles.
+	Len() int
+}
+
+// IDMParams are the Intelligent Driver Model parameters.
+type IDMParams struct {
+	DesiredSpeed float64 // v0: free-flow speed, m/s
+	TimeHeadway  float64 // T: safe time headway, s
+	MaxAccel     float64 // a: maximum acceleration, m/s²
+	ComfortDecel float64 // b: comfortable braking, m/s²
+	MinGap       float64 // s0: minimum bumper gap, m
+	Length       float64 // vehicle length, m
+}
+
+// DefaultIDM returns standard passenger-car IDM parameters with the given
+// desired speed.
+func DefaultIDM(desiredSpeed float64) IDMParams {
+	return IDMParams{
+		DesiredSpeed: desiredSpeed,
+		TimeHeadway:  1.5,
+		MaxAccel:     1.4,
+		ComfortDecel: 2.0,
+		MinGap:       2.0,
+		Length:       5.0,
+	}
+}
+
+// accel returns the IDM acceleration for a vehicle at speed v with a gap
+// (bumper to bumper) and approach rate dv = v − vLeader. Pass gap = +Inf
+// for free road.
+func (p IDMParams) accel(v, gap, dv float64) float64 {
+	free := 1 - math.Pow(v/math.Max(p.DesiredSpeed, 0.1), 4)
+	if math.IsInf(gap, 1) {
+		return p.MaxAccel * free
+	}
+	if gap < 0.1 {
+		gap = 0.1
+	}
+	sStar := p.MinGap + math.Max(0, v*p.TimeHeadway+v*dv/(2*math.Sqrt(p.MaxAccel*p.ComfortDecel)))
+	return p.MaxAccel * (free - (sStar/gap)*(sStar/gap))
+}
+
+// vehicle is the internal mutable vehicle record.
+type vehicle struct {
+	id     VehicleID
+	class  Class
+	params IDMParams
+	seg    roadnet.SegmentID
+	lane   int
+	offset float64
+	speed  float64
+	accel  float64
+	route  []roadnet.SegmentID // pending segments after the current one
+	rng    *rand.Rand
+	// lane-change hysteresis: no second change for a short period
+	laneCooldown float64
+}
+
+// RoadModel moves vehicles over a roadnet.Network with IDM + lane changes.
+// Vehicles follow per-vehicle routes; when the route runs out the
+// NextSegment policy picks a continuation (ring roads loop forever,
+// Manhattan grids turn randomly).
+type RoadModel struct {
+	net   *roadnet.Network
+	vs    []*vehicle
+	rng   *rand.Rand
+	now   float64
+	exitP ExitPolicy
+	// scratch: per (segment, lane) ordered vehicle lists, rebuilt each tick
+	order map[laneKey][]*vehicle
+}
+
+type laneKey struct {
+	seg  roadnet.SegmentID
+	lane int
+}
+
+// ExitPolicy decides what happens when a vehicle reaches the end of its
+// current segment with an empty route.
+type ExitPolicy int
+
+const (
+	// ContinueRandom picks a random outgoing segment (straight-biased).
+	ContinueRandom ExitPolicy = iota + 1
+	// Despawn removes the vehicle from the simulation.
+	Despawn
+)
+
+// NewRoadModel returns an empty road mobility model.
+func NewRoadModel(net *roadnet.Network, rng *rand.Rand, exit ExitPolicy) *RoadModel {
+	if exit == 0 {
+		exit = ContinueRandom
+	}
+	return &RoadModel{net: net, rng: rng, exitP: exit, order: make(map[laneKey][]*vehicle)}
+}
+
+// Network returns the underlying road network.
+func (m *RoadModel) Network() *roadnet.Network { return m.net }
+
+// AddVehicle places a vehicle and returns its ID. Speed starts at the
+// smaller of the desired speed and the segment limit.
+func (m *RoadModel) AddVehicle(seg roadnet.SegmentID, lane int, offset float64, params IDMParams, class Class) VehicleID {
+	s := m.net.Segment(seg)
+	if lane < 0 {
+		lane = 0
+	}
+	if lane >= s.Lanes {
+		lane = s.Lanes - 1
+	}
+	v := &vehicle{
+		id:     VehicleID(len(m.vs)),
+		class:  class,
+		params: params,
+		seg:    seg,
+		lane:   lane,
+		offset: math.Mod(math.Abs(offset), math.Max(s.Length(), 1)),
+		speed:  math.Min(params.DesiredSpeed, s.SpeedLimit),
+		rng:    rand.New(rand.NewSource(m.rng.Int63())),
+	}
+	m.vs = append(m.vs, v)
+	return v.id
+}
+
+// SetRoute assigns the pending segment route of a vehicle (after its
+// current segment).
+func (m *RoadModel) SetRoute(id VehicleID, route []roadnet.SegmentID) {
+	v := m.vs[id]
+	v.route = append(v.route[:0], route...)
+}
+
+// Len implements Model: the number of active (non-despawned) vehicles.
+func (m *RoadModel) Len() int {
+	n := 0
+	for _, v := range m.vs {
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance implements Model: one IDM step for every vehicle, then lane
+// changes, then junction handling.
+func (m *RoadModel) Advance(dt float64) {
+	m.now += dt
+	m.rebuildOrder()
+	// 1. accelerations from current leaders
+	for _, v := range m.vs {
+		if v == nil {
+			continue
+		}
+		gap, leadSpeed := m.gapAhead(v, v.lane)
+		limit := m.net.Segment(v.seg).SpeedLimit
+		a := v.params.accel(v.speed, gap, v.speed-leadSpeed)
+		// respect the speed limit as the v_m clamp
+		if v.speed > limit {
+			a = math.Min(a, -v.params.ComfortDecel)
+		}
+		v.accel = clampF(a, -8, v.params.MaxAccel)
+	}
+	// 2. integrate
+	for _, v := range m.vs {
+		if v == nil {
+			continue
+		}
+		v.speed = clampF(v.speed+v.accel*dt, 0, m.net.Segment(v.seg).SpeedLimit)
+		v.offset += v.speed * dt
+		if v.laneCooldown > 0 {
+			v.laneCooldown -= dt
+		}
+	}
+	// 3. lane changes (after movement so gaps reflect fresh positions)
+	m.rebuildOrder()
+	for _, v := range m.vs {
+		if v == nil {
+			continue
+		}
+		m.maybeChangeLane(v)
+	}
+	// 4. junction transitions
+	for i, v := range m.vs {
+		if v == nil {
+			continue
+		}
+		seg := m.net.Segment(v.seg)
+		for v.offset >= seg.Length() {
+			over := v.offset - seg.Length()
+			next, ok := m.nextSegment(v)
+			if !ok {
+				if m.exitP == Despawn {
+					m.vs[i] = nil
+				} else {
+					v.offset = seg.Length()
+					v.speed = 0
+				}
+				break
+			}
+			v.seg = next
+			seg = m.net.Segment(next)
+			if v.lane >= seg.Lanes {
+				v.lane = seg.Lanes - 1
+			}
+			v.offset = over
+		}
+	}
+}
+
+// nextSegment pops the route or applies the exit policy.
+func (m *RoadModel) nextSegment(v *vehicle) (roadnet.SegmentID, bool) {
+	if len(v.route) > 0 {
+		next := v.route[0]
+		v.route = v.route[1:]
+		return next, true
+	}
+	choices := m.net.NextSegments(v.seg)
+	if len(choices) == 0 {
+		return 0, false
+	}
+	if m.exitP == Despawn {
+		return 0, false
+	}
+	// straight bias: prefer the continuation with the closest heading
+	cur := m.net.Segment(v.seg).Dir()
+	if v.rng.Float64() < 0.7 {
+		best := choices[0]
+		bd := -math.MaxFloat64
+		for _, c := range choices {
+			if d := m.net.Segment(c).Dir().Dot(cur); d > bd {
+				bd = d
+				best = c
+			}
+		}
+		return best, true
+	}
+	return choices[v.rng.Intn(len(choices))], true
+}
+
+// rebuildOrder sorts vehicles per (segment, lane) by offset.
+func (m *RoadModel) rebuildOrder() {
+	for k := range m.order {
+		delete(m.order, k)
+	}
+	for _, v := range m.vs {
+		if v == nil {
+			continue
+		}
+		k := laneKey{v.seg, v.lane}
+		m.order[k] = append(m.order[k], v)
+	}
+	for _, list := range m.order {
+		insertionSortVehicles(list)
+	}
+}
+
+func insertionSortVehicles(list []*vehicle) {
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j].offset < list[j-1].offset; j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+}
+
+// gapAhead returns the bumper gap and speed of the leader in the given lane
+// of v's segment (or on the following segment within lookahead). Gap is
+// +Inf on free road.
+func (m *RoadModel) gapAhead(v *vehicle, lane int) (gap, leaderSpeed float64) {
+	list := m.order[laneKey{v.seg, lane}]
+	var leader *vehicle
+	for _, o := range list {
+		if o == v {
+			continue
+		}
+		if o.offset >= v.offset && (o != v) {
+			if o.offset == v.offset && o.id < v.id {
+				continue // deterministic tie-break
+			}
+			if leader == nil || o.offset < leader.offset {
+				leader = o
+			}
+		}
+	}
+	if leader != nil {
+		return leader.offset - v.offset - leader.params.Length, leader.speed
+	}
+	// look into the next segment a vehicle would enter
+	remaining := m.net.Segment(v.seg).Length() - v.offset
+	if remaining < 100 {
+		var nextSeg roadnet.SegmentID = -1
+		if len(v.route) > 0 {
+			nextSeg = v.route[0]
+		} else if ns := m.net.NextSegments(v.seg); len(ns) == 1 {
+			nextSeg = ns[0]
+		}
+		if nextSeg >= 0 {
+			nl := lane
+			if nl >= m.net.Segment(nextSeg).Lanes {
+				nl = m.net.Segment(nextSeg).Lanes - 1
+			}
+			for _, o := range m.order[laneKey{nextSeg, nl}] {
+				return remaining + o.offset - o.params.Length, o.speed
+			}
+		}
+	}
+	return math.Inf(1), 0
+}
+
+// maybeChangeLane applies a simplified MOBIL rule: change lane when the
+// target lane offers a clearly better gap and the follower there is not
+// forced to brake hard.
+func (m *RoadModel) maybeChangeLane(v *vehicle) {
+	seg := m.net.Segment(v.seg)
+	if seg.Lanes < 2 || v.laneCooldown > 0 {
+		return
+	}
+	curGap, _ := m.gapAhead(v, v.lane)
+	if curGap > v.speed*3+20 {
+		return // no incentive
+	}
+	for _, cand := range [2]int{v.lane - 1, v.lane + 1} {
+		if cand < 0 || cand >= seg.Lanes {
+			continue
+		}
+		newGap, _ := m.gapAhead(v, cand)
+		if newGap < curGap*1.5+5 {
+			continue
+		}
+		// safety: follower in target lane must keep ≥ minGap
+		if !m.safeToEnter(v, cand) {
+			continue
+		}
+		v.lane = cand
+		v.laneCooldown = 4
+		return
+	}
+}
+
+func (m *RoadModel) safeToEnter(v *vehicle, lane int) bool {
+	for _, o := range m.order[laneKey{v.seg, lane}] {
+		if o == v {
+			continue
+		}
+		d := v.offset - o.offset
+		if d >= 0 && d < o.params.Length+o.speed*1.0+2 {
+			return false // follower too close behind
+		}
+		if d < 0 && -d < v.params.Length+v.speed*1.0+2 {
+			return false // leader too close ahead
+		}
+	}
+	return true
+}
+
+// States implements Model.
+func (m *RoadModel) States() []State {
+	out := make([]State, 0, len(m.vs))
+	for _, v := range m.vs {
+		if v == nil {
+			continue
+		}
+		seg := m.net.Segment(v.seg)
+		pos := seg.PosAt(v.lane, v.offset)
+		out = append(out, State{
+			ID:      v.id,
+			Pos:     pos,
+			Vel:     seg.Heading(v.speed),
+			Speed:   v.speed,
+			Accel:   v.accel,
+			Segment: v.seg,
+			Lane:    v.lane,
+			Offset:  v.offset,
+			Class:   v.class,
+		})
+	}
+	return out
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,125 @@
+package mobility
+
+import (
+	"math"
+	"sort"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+// Waypoint is one sampled trace point of one vehicle.
+type Waypoint struct {
+	T     float64
+	Pos   geom.Vec2
+	Speed float64
+}
+
+// Track is the time-ordered trajectory of one vehicle.
+type Track struct {
+	ID        VehicleID
+	Waypoints []Waypoint
+	Class     Class
+}
+
+// PlaybackModel replays recorded trajectories (e.g. parsed from a SUMO
+// floating-car-data export) as a mobility model, interpolating positions
+// linearly between waypoints. Vehicles outside their track's time span are
+// parked at the nearest endpoint.
+type PlaybackModel struct {
+	tracks []Track
+	now    float64
+}
+
+// NewPlayback returns a playback model over the given tracks. Waypoints of
+// each track are sorted by time.
+func NewPlayback(tracks []Track) *PlaybackModel {
+	for i := range tracks {
+		wps := tracks[i].Waypoints
+		sort.Slice(wps, func(a, b int) bool { return wps[a].T < wps[b].T })
+		if tracks[i].Class == 0 {
+			tracks[i].Class = Car
+		}
+	}
+	return &PlaybackModel{tracks: tracks}
+}
+
+// Len implements Model.
+func (m *PlaybackModel) Len() int { return len(m.tracks) }
+
+// Advance implements Model.
+func (m *PlaybackModel) Advance(dt float64) { m.now += dt }
+
+// Now returns the playback clock.
+func (m *PlaybackModel) Now() float64 { return m.now }
+
+// States implements Model.
+func (m *PlaybackModel) States() []State {
+	out := make([]State, 0, len(m.tracks))
+	for i := range m.tracks {
+		tr := &m.tracks[i]
+		if len(tr.Waypoints) == 0 {
+			continue
+		}
+		pos, vel, speed := interpolate(tr.Waypoints, m.now)
+		out = append(out, State{
+			ID:    tr.ID,
+			Pos:   pos,
+			Vel:   vel,
+			Speed: speed,
+			Class: tr.Class,
+		})
+	}
+	return out
+}
+
+func interpolate(wps []Waypoint, t float64) (pos, vel geom.Vec2, speed float64) {
+	if t <= wps[0].T {
+		return wps[0].Pos, geom.Vec2{}, 0
+	}
+	last := wps[len(wps)-1]
+	if t >= last.T {
+		return last.Pos, geom.Vec2{}, 0
+	}
+	idx := sort.Search(len(wps), func(i int) bool { return wps[i].T > t }) - 1
+	a, b := wps[idx], wps[idx+1]
+	span := b.T - a.T
+	if span <= 0 {
+		return a.Pos, geom.Vec2{}, a.Speed
+	}
+	frac := (t - a.T) / span
+	pos = geom.Lerp(a.Pos, b.Pos, frac)
+	vel = b.Pos.Sub(a.Pos).Scale(1 / span)
+	speed = a.Speed + frac*(b.Speed-a.Speed)
+	if speed == 0 {
+		speed = vel.Len()
+	}
+	if math.IsNaN(speed) {
+		speed = 0
+	}
+	return pos, vel, speed
+}
+
+// Record samples a model's states at fixed intervals for duration seconds,
+// producing tracks suitable for SUMO FCD export or later playback. It
+// advances the model as a side effect.
+func Record(m Model, interval, duration float64) []Track {
+	byID := make(map[VehicleID]*Track)
+	var order []VehicleID
+	for t := 0.0; t <= duration+1e-9; t += interval {
+		for _, s := range m.States() {
+			tr, ok := byID[s.ID]
+			if !ok {
+				tr = &Track{ID: s.ID, Class: s.Class}
+				byID[s.ID] = tr
+				order = append(order, s.ID)
+			}
+			tr.Waypoints = append(tr.Waypoints, Waypoint{T: t, Pos: s.Pos, Speed: s.Speed})
+		}
+		m.Advance(interval)
+	}
+	out := make([]Track, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out
+}

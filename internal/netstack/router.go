@@ -1,0 +1,169 @@
+package netstack
+
+import (
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/sim"
+)
+
+// Router is the interface every protocol implements. One instance is
+// attached per node.
+type Router interface {
+	// Name returns the protocol name (stable, used in metrics and the
+	// taxonomy registry).
+	Name() string
+	// Attach hands the router its per-node API. Called once before the
+	// simulation starts.
+	Attach(api *API)
+	// HandlePacket processes a link-layer delivered packet (unicast to
+	// this node or broadcast). Beacons are consumed by the stack and do
+	// not reach HandlePacket.
+	HandlePacket(pkt *Packet)
+	// Originate injects application data for dst. The router owns
+	// queueing and discovery; undeliverable data is dropped by the
+	// router.
+	Originate(dst NodeID, size int)
+	// OnBeacon fires after the stack refreshed the neighbor entry.
+	OnBeacon(nb Neighbor)
+	// OnNeighborExpired fires when a neighbor times out — the stack-level
+	// link-break signal routers use for RERR/repair logic.
+	OnNeighborExpired(id NodeID)
+	// OnSendFailed fires at the sender when a unicast transmission of pkt
+	// to the given next hop exhausted the MAC's ARQ budget — the 802.11
+	// transmission-failure indication. Routers typically blacklist the
+	// neighbor and re-route or report a broken link.
+	OnSendFailed(pkt *Packet, to NodeID)
+	// NeedsBeacons reports whether this protocol requires the HELLO
+	// beaconing substrate. Stacks without any beacon consumer skip
+	// beaconing, so protocols that advertise independence from
+	// "neighboring awareness" aren't charged its overhead.
+	NeedsBeacons() bool
+}
+
+// RouterFactory builds one router per node.
+type RouterFactory func() Router
+
+// Base provides default no-op implementations of the optional Router
+// hooks. Protocols embed it and override what they need.
+type Base struct {
+	API *API
+}
+
+// Attach stores the API.
+func (b *Base) Attach(api *API) { b.API = api }
+
+// OnBeacon is a no-op by default.
+func (b *Base) OnBeacon(Neighbor) {}
+
+// OnNeighborExpired is a no-op by default.
+func (b *Base) OnNeighborExpired(NodeID) {}
+
+// OnSendFailed is a no-op by default.
+func (b *Base) OnSendFailed(*Packet, NodeID) {}
+
+// NeedsBeacons defaults to true; pure flooding protocols override it.
+func (b *Base) NeedsBeacons() bool { return true }
+
+// API is the per-node interface the stack exposes to its router.
+type API struct {
+	world *World
+	node  *node
+}
+
+// Self returns this node's ID.
+func (a *API) Self() NodeID { return a.node.id }
+
+// Kind returns this node's kind.
+func (a *API) Kind() NodeKind { return a.node.kind }
+
+// Now returns the simulation time.
+func (a *API) Now() float64 { return a.world.eng.Now() }
+
+// Pos returns this node's current position.
+func (a *API) Pos() geom.Vec2 { return a.node.pos }
+
+// Vel returns this node's current velocity.
+func (a *API) Vel() geom.Vec2 { return a.node.vel }
+
+// Neighbors returns a sorted snapshot of the live neighbor table.
+func (a *API) Neighbors() []Neighbor { return a.node.nbrs.Snapshot() }
+
+// Neighbor looks up one neighbor entry.
+func (a *API) Neighbor(id NodeID) (Neighbor, bool) { return a.node.nbrs.Get(id) }
+
+// HasNeighbor reports whether id is currently a live neighbor.
+func (a *API) HasNeighbor(id NodeID) bool { return a.node.nbrs.Has(id) }
+
+// ForgetNeighbor removes id from the neighbor table immediately (without
+// firing OnNeighborExpired — the caller already knows). Routers blacklist
+// stale neighbors this way after a transmission failure.
+func (a *API) ForgetNeighbor(id NodeID) { a.node.nbrs.Remove(id) }
+
+// Send transmits pkt on the link layer. to is a node ID or Broadcast. The
+// stack fills From/To, charges metrics by packet type, and hands the frame
+// to the MAC.
+func (a *API) Send(to NodeID, pkt *Packet) {
+	a.world.sendFrame(a.node, to, pkt)
+}
+
+// After schedules fn after d seconds; the returned timer can be cancelled.
+func (a *API) After(d float64, fn func()) sim.TimerID { return a.world.eng.After(d, fn) }
+
+// Cancel cancels a pending timer.
+func (a *API) Cancel(id sim.TimerID) { a.world.eng.Cancel(id) }
+
+// Rand returns this node's deterministic random stream.
+func (a *API) Rand() *rand.Rand { return a.node.rng }
+
+// Metrics returns the run-wide collector.
+func (a *API) Metrics() *metrics.Collector { return a.world.col }
+
+// NewUID issues a fresh packet UID.
+func (a *API) NewUID() uint64 {
+	a.world.uid++
+	return a.world.uid
+}
+
+// Deliver reports that a data packet reached its destination. The stack
+// records delay and hop metrics; duplicate UIDs are counted as duplicates.
+// It reports whether this was the first delivery.
+func (a *API) Deliver(pkt *Packet) bool {
+	return a.world.col.OnDataDelivered(pkt.UID, a.Now()-pkt.Created, pkt.Hops)
+}
+
+// Drop reports that a data packet was abandoned (no route, TTL, queue
+// overflow).
+func (a *API) Drop(pkt *Packet) {
+	if pkt.Data {
+		a.world.col.DataDropped++
+	}
+}
+
+// RangeEstimate returns the channel's 50% reception range: the r every
+// analytic lifetime computation (Eqn 4) uses.
+func (a *API) RangeEstimate() float64 { return a.world.ch.MeanRange() }
+
+// LookupPosition implements an idealised location service: the last
+// position/velocity of dst sampled at the configured staleness. The survey
+// assumes "vehicles knowing the geographic position of neighbors" and a
+// GPS/digital-map substrate for geographic and probability protocols; the
+// oracle with staleness models exactly that information with bounded
+// freshness.
+func (a *API) LookupPosition(dst NodeID) (pos, vel geom.Vec2, ok bool) {
+	return a.world.lookupPosition(dst)
+}
+
+// NodeKindOf returns the kind of an arbitrary node (directory information,
+// like knowing which addresses are RSUs).
+func (a *API) NodeKindOf(id NodeID) (NodeKind, bool) {
+	n := a.world.nodeByID(id)
+	if n == nil {
+		return 0, false
+	}
+	return n.kind, true
+}
+
+// Nodes returns the total node count (IDs are 0..Nodes()-1).
+func (a *API) Nodes() int { return len(a.world.nodes) }

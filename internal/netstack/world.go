@@ -1,0 +1,425 @@
+package netstack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/mac"
+	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/mobility"
+	"github.com/vanetlab/relroute/internal/sim"
+	"github.com/vanetlab/relroute/internal/spatial"
+)
+
+// Config parameterises a World.
+type Config struct {
+	// Seed drives every random stream of the run.
+	Seed int64
+	// Tick is the mobility update interval in seconds. Zero means 0.1.
+	Tick float64
+	// BeaconInterval is the HELLO period in seconds. Zero means 1.0.
+	BeaconInterval float64
+	// NeighborTTL is the neighbor expiry in seconds. Zero means
+	// 2.5 × BeaconInterval.
+	NeighborTTL float64
+	// BeaconSize is the HELLO frame size in bytes. Zero means 32.
+	BeaconSize int
+	// Channel is the propagation model. Nil means UnitDisk{250}.
+	Channel channel.Model
+	// MAC holds the MAC parameters.
+	MAC mac.Config
+	// LocationStaleness is the update period of the idealised location
+	// service in seconds; lookups return positions up to this stale.
+	// Zero means 1.0.
+	LocationStaleness float64
+}
+
+func (c Config) tick() float64 {
+	if c.Tick <= 0 {
+		return 0.1
+	}
+	return c.Tick
+}
+
+func (c Config) beaconInterval() float64 {
+	if c.BeaconInterval <= 0 {
+		return 1.0
+	}
+	return c.BeaconInterval
+}
+
+func (c Config) neighborTTL() float64 {
+	if c.NeighborTTL <= 0 {
+		return 2.5 * c.beaconInterval()
+	}
+	return c.NeighborTTL
+}
+
+func (c Config) beaconSize() int {
+	if c.BeaconSize <= 0 {
+		return 32
+	}
+	return c.BeaconSize
+}
+
+// node is the internal per-node record.
+type node struct {
+	id     NodeID
+	kind   NodeKind
+	router Router
+	nbrs   *NeighborTable
+	pos    geom.Vec2
+	vel    geom.Vec2
+	rng    *rand.Rand
+	vehID  mobility.VehicleID // -1 for static nodes
+	active bool
+}
+
+// beacon is the HELLO payload.
+type beacon struct {
+	kind NodeKind
+	pos  geom.Vec2
+	vel  geom.Vec2
+}
+
+// World owns one simulation run: engine, mobility, radio stack, nodes,
+// flows and metrics.
+type World struct {
+	cfg   Config
+	eng   *sim.Engine
+	model mobility.Model
+	grid  *spatial.Grid
+	ch    channel.Model
+	mac   *mac.Layer
+	col   *metrics.Collector
+	nodes []*node
+	uid   uint64
+
+	locPos   map[NodeID]geom.Vec2
+	locVel   map[NodeID]geom.Vec2
+	locFresh bool
+}
+
+// NewWorld builds a world over the given mobility model. Call one of the
+// node-population methods, then Run.
+func NewWorld(cfg Config, model mobility.Model) *World {
+	eng := sim.NewEngine(cfg.Seed)
+	ch := cfg.Channel
+	if ch == nil {
+		ch = channel.UnitDisk{Range: 250}
+	}
+	col := metrics.NewCollector()
+	cell := ch.MaxRange()
+	if cell <= 0 {
+		cell = 250
+	}
+	w := &World{
+		cfg:    cfg,
+		eng:    eng,
+		model:  model,
+		grid:   spatial.NewGrid(cell),
+		ch:     ch,
+		col:    col,
+		locPos: make(map[NodeID]geom.Vec2),
+		locVel: make(map[NodeID]geom.Vec2),
+	}
+	w.mac = mac.NewLayer(eng, ch, w.grid, cfg.MAC, col, w.dispatch, w.txFailed)
+	return w
+}
+
+// Engine exposes the underlying engine (used by the harness for extra
+// instrumentation events).
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Collector returns the run's metrics collector.
+func (w *World) Collector() *metrics.Collector { return w.col }
+
+// Channel returns the propagation model in use.
+func (w *World) Channel() channel.Model { return w.ch }
+
+// Nodes returns the number of nodes.
+func (w *World) Nodes() int { return len(w.nodes) }
+
+// NodeIDs returns all node IDs of the given kind.
+func (w *World) NodeIDs(kind NodeKind) []NodeID {
+	var out []NodeID
+	for _, n := range w.nodes {
+		if n.kind == kind {
+			out = append(out, n.id)
+		}
+	}
+	return out
+}
+
+func (w *World) nodeByID(id NodeID) *node {
+	if id < 0 || int(id) >= len(w.nodes) {
+		return nil
+	}
+	return w.nodes[id]
+}
+
+// PositionOf returns the current true position of a node (harness
+// instrumentation; protocols should use beacons or LookupPosition).
+func (w *World) PositionOf(id NodeID) (geom.Vec2, bool) {
+	n := w.nodeByID(id)
+	if n == nil {
+		return geom.Vec2{}, false
+	}
+	return n.pos, true
+}
+
+// VelocityOf returns the current true velocity of a node.
+func (w *World) VelocityOf(id NodeID) (geom.Vec2, bool) {
+	n := w.nodeByID(id)
+	if n == nil {
+		return geom.Vec2{}, false
+	}
+	return n.vel, true
+}
+
+// KindOf returns the node kind.
+func (w *World) KindOf(id NodeID) (NodeKind, bool) {
+	n := w.nodeByID(id)
+	if n == nil {
+		return 0, false
+	}
+	return n.kind, true
+}
+
+// AddVehicleNodes creates one node per vehicle currently in the mobility
+// model, attaching a fresh router from the factory. Buses become BusNode
+// kind. It returns the created node IDs in vehicle order.
+func (w *World) AddVehicleNodes(factory RouterFactory) []NodeID {
+	states := w.model.States()
+	ids := make([]NodeID, 0, len(states))
+	for _, s := range states {
+		kind := Vehicle
+		if s.Class == mobility.Bus {
+			kind = BusNode
+		}
+		id := w.addNode(kind, s.Pos, s.Vel, factory(), s.ID)
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// AddStaticNode creates a fixed node (e.g. an RSU) at pos.
+func (w *World) AddStaticNode(kind NodeKind, pos geom.Vec2, r Router) NodeID {
+	return w.addNode(kind, pos, geom.Vec2{}, r, -1)
+}
+
+func (w *World) addNode(kind NodeKind, pos, vel geom.Vec2, r Router, vehID mobility.VehicleID) NodeID {
+	id := NodeID(len(w.nodes))
+	n := &node{
+		id: id, kind: kind, router: r,
+		nbrs: NewNeighborTable(w.cfg.neighborTTL()),
+		pos:  pos, vel: vel,
+		rng:    w.eng.Rand(),
+		vehID:  vehID,
+		active: true,
+	}
+	w.nodes = append(w.nodes, n)
+	w.grid.Update(int32(id), pos)
+	r.Attach(&API{world: w, node: n})
+	return id
+}
+
+// SetNodeActive enables or disables a node (failure injection). Disabled
+// nodes neither transmit nor receive and vanish from the spatial index.
+func (w *World) SetNodeActive(id NodeID, active bool) {
+	n := w.nodeByID(id)
+	if n == nil || n.active == active {
+		return
+	}
+	n.active = active
+	if active {
+		w.grid.Update(int32(id), n.pos)
+	} else {
+		w.grid.Remove(int32(id))
+	}
+}
+
+// AddFlow schedules a constant-bit-rate application flow: count packets of
+// size bytes from src to dst, one every interval seconds starting at start.
+func (w *World) AddFlow(src, dst NodeID, start, interval float64, count, size int) {
+	if count <= 0 {
+		return
+	}
+	for i := 0; i < count; i++ {
+		at := start + float64(i)*interval
+		w.eng.At(at, func() {
+			n := w.nodeByID(src)
+			if n == nil || !n.active {
+				return
+			}
+			w.col.OnDataSent()
+			n.router.Originate(dst, size)
+		})
+	}
+}
+
+// Run executes the simulation for duration seconds.
+func (w *World) Run(duration float64) error {
+	needBeacons := false
+	for _, n := range w.nodes {
+		if n.router.NeedsBeacons() {
+			needBeacons = true
+			break
+		}
+	}
+	// mobility + housekeeping tick
+	tick := w.cfg.tick()
+	w.eng.Ticker(0, tick, 0, nil, func() { w.step(tick) })
+	// per-node beaconing with phase jitter
+	if needBeacons {
+		for _, n := range w.nodes {
+			nn := n
+			phase := nn.rng.Float64() * w.cfg.beaconInterval()
+			w.eng.Ticker(phase, w.cfg.beaconInterval(), 0.1, nn.rng, func() {
+				w.sendBeacon(nn)
+			})
+		}
+	}
+	// location service refresh
+	staleness := w.cfg.LocationStaleness
+	if staleness <= 0 {
+		staleness = 1.0
+	}
+	w.eng.Ticker(0, staleness, 0, nil, w.refreshLocations)
+	if err := w.eng.Run(duration); err != nil {
+		return fmt.Errorf("netstack: run: %w", err)
+	}
+	return nil
+}
+
+// step advances mobility and refreshes node kinematics and the spatial
+// index.
+func (w *World) step(dt float64) {
+	for _, s := range w.model.States() {
+		// vehicle nodes were created in States() order with matching IDs
+		for _, n := range w.nodes {
+			if n.vehID == s.ID {
+				n.pos = s.Pos
+				n.vel = s.Vel
+				if n.active {
+					w.grid.Update(int32(n.id), n.pos)
+				}
+				break
+			}
+		}
+	}
+	w.model.Advance(dt)
+	// neighbor expiry sweep
+	now := w.eng.Now()
+	for _, n := range w.nodes {
+		if !n.active {
+			continue
+		}
+		for _, gone := range n.nbrs.Expire(now) {
+			n.router.OnNeighborExpired(gone)
+		}
+	}
+}
+
+func (w *World) refreshLocations() {
+	for _, n := range w.nodes {
+		w.locPos[n.id] = n.pos
+		w.locVel[n.id] = n.vel
+	}
+}
+
+func (w *World) lookupPosition(dst NodeID) (geom.Vec2, geom.Vec2, bool) {
+	p, ok := w.locPos[dst]
+	if !ok {
+		n := w.nodeByID(dst)
+		if n == nil {
+			return geom.Vec2{}, geom.Vec2{}, false
+		}
+		return n.pos, n.vel, true
+	}
+	return p, w.locVel[dst], true
+}
+
+// sendBeacon broadcasts a HELLO for node n.
+func (w *World) sendBeacon(n *node) {
+	if !n.active {
+		return
+	}
+	pkt := &Packet{
+		UID:  0, // beacons are unnumbered
+		Kind: KindHello, Proto: "hello",
+		Src: n.id, Dst: Broadcast, From: n.id, To: Broadcast,
+		TTL: 1, Size: w.cfg.beaconSize(), Created: w.eng.Now(),
+		Payload: beacon{kind: n.kind, pos: n.pos, vel: n.vel},
+	}
+	w.col.OnControl(KindHello, pkt.Size)
+	w.mac.Send(mac.Frame{From: int32(n.id), To: mac.Broadcast, Size: pkt.Size, Payload: pkt})
+}
+
+// sendFrame is API.Send: it stamps link addresses, charges metrics, and
+// hands the packet to the MAC.
+func (w *World) sendFrame(n *node, to NodeID, pkt *Packet) {
+	if !n.active {
+		return
+	}
+	pkt.From = n.id
+	pkt.To = to
+	if pkt.Data {
+		w.col.DataForwarded++
+		w.col.DataBytes += pkt.Size
+	} else {
+		w.col.OnControl(pkt.Kind, pkt.Size)
+	}
+	macTo := mac.Broadcast
+	if to != Broadcast {
+		macTo = int32(to)
+	}
+	w.mac.Send(mac.Frame{From: int32(n.id), To: macTo, Size: pkt.Size, Payload: pkt})
+}
+
+// txFailed is the MAC failure upcall: surface exhausted unicast ARQ to the
+// sending router as a link-failure indication.
+func (w *World) txFailed(from int32, f mac.Frame) {
+	n := w.nodeByID(NodeID(from))
+	if n == nil || !n.active {
+		return
+	}
+	pkt, ok := f.Payload.(*Packet)
+	if !ok || pkt.Kind == KindHello {
+		return
+	}
+	n.router.OnSendFailed(pkt.Clone(), NodeID(f.To))
+}
+
+// dispatch is the MAC upcall: filter by link destination, consume beacons,
+// clone per receiver, and hand to the router.
+func (w *World) dispatch(to int32, f mac.Frame) {
+	n := w.nodeByID(NodeID(to))
+	if n == nil || !n.active {
+		return
+	}
+	pkt, ok := f.Payload.(*Packet)
+	if !ok {
+		return
+	}
+	if pkt.To != Broadcast && pkt.To != n.id {
+		return // unicast not for us; no promiscuous data path
+	}
+	if pkt.Kind == KindHello {
+		b, ok := pkt.Payload.(beacon)
+		if !ok {
+			return
+		}
+		d := n.pos.Dist(b.pos)
+		rssi := w.ch.RSSI(d, n.rng)
+		nb := n.nbrs.Update(pkt.From, b.kind, b.pos, b.vel, rssi, w.eng.Now())
+		n.router.OnBeacon(*nb)
+		return
+	}
+	// Hand the router its own mutable copy.
+	cp := pkt.Clone()
+	cp.Hops++
+	n.router.HandlePacket(cp)
+}

@@ -1,0 +1,95 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+// Highway builds a straight bidirectional highway of the given length with
+// lanesPerDir lanes in each direction. The eastbound carriageway runs along
+// y≈0 and the westbound one is offset north of it. It returns the network
+// and the two carriageway segment IDs (east, west).
+func Highway(length float64, lanesPerDir int, speedLimit float64) (*Network, SegmentID, SegmentID, error) {
+	if length <= 0 {
+		return nil, 0, 0, fmt.Errorf("roadnet: highway length must be positive, got %v", length)
+	}
+	b := NewBuilder()
+	const laneWidth = 3.5
+	west0 := b.AddJunction(geom.V(0, 0))
+	east0 := b.AddJunction(geom.V(length, 0))
+	// Opposite carriageway offset so its lanes stack on the far side.
+	gap := laneWidth * float64(lanesPerDir+1)
+	west1 := b.AddJunction(geom.V(0, gap))
+	east1 := b.AddJunction(geom.V(length, gap))
+	eb := b.AddSegment(west0, east0, lanesPerDir, laneWidth, speedLimit)
+	wb := b.AddSegment(east1, west1, lanesPerDir, laneWidth, speedLimit)
+	// Median crossovers at both ends keep the directed road graph strongly
+	// connected (vehicles turn around instead of parking at the ends, and
+	// road-graph routing like CAR's can always find a path).
+	b.AddSegment(east0, east1, 1, laneWidth, 8)
+	b.AddSegment(west1, west0, 1, laneWidth, 8)
+	n, err := b.Build()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return n, eb, wb, nil
+}
+
+// Grid builds an nx × ny Manhattan street grid with the given block spacing
+// in meters. Every street is two-way with the given number of lanes per
+// direction.
+func Grid(nx, ny int, spacing float64, lanes int, speedLimit float64) (*Network, error) {
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("roadnet: grid needs at least 2×2 junctions, got %d×%d", nx, ny)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("roadnet: grid spacing must be positive, got %v", spacing)
+	}
+	b := NewBuilder()
+	ids := make([][]JunctionID, nx)
+	for i := 0; i < nx; i++ {
+		ids[i] = make([]JunctionID, ny)
+		for j := 0; j < ny; j++ {
+			ids[i][j] = b.AddJunction(geom.V(float64(i)*spacing, float64(j)*spacing))
+		}
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if i+1 < nx {
+				b.AddTwoWay(ids[i][j], ids[i+1][j], lanes, 3.5, speedLimit)
+			}
+			if j+1 < ny {
+				b.AddTwoWay(ids[i][j], ids[i][j+1], lanes, 3.5, speedLimit)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Ring builds a circular (well, regular-polygon) ring road approximating a
+// closed loop of the given circumference, used to hold vehicle density
+// constant in steady-state experiments: vehicles that reach the end of a
+// segment continue onto the next one forever.
+func Ring(circumference float64, sides, lanes int, speedLimit float64) (*Network, error) {
+	if sides < 3 {
+		sides = 16
+	}
+	if circumference <= 0 {
+		return nil, fmt.Errorf("roadnet: ring circumference must be positive, got %v", circumference)
+	}
+	b := NewBuilder()
+	// radius from polygon perimeter
+	side := circumference / float64(sides)
+	radius := side / (2 * math.Sin(math.Pi/float64(sides)))
+	js := make([]JunctionID, sides)
+	for i := 0; i < sides; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(sides)
+		js[i] = b.AddJunction(geom.V(radius*math.Cos(theta), radius*math.Sin(theta)))
+	}
+	for i := 0; i < sides; i++ {
+		b.AddSegment(js[i], js[(i+1)%sides], lanes, 3.5, speedLimit)
+	}
+	return b.Build()
+}

@@ -1,0 +1,89 @@
+package busferry_test
+
+import (
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/routing/busferry"
+	"github.com/vanetlab/relroute/internal/routing/routetest"
+)
+
+func TestDirectDelivery(t *testing.T) {
+	w, ids := routetest.World(t, 1, routetest.Chain(2, 150, 10), busferry.New())
+	routetest.MustDeliverAll(t, w, ids[0], ids[1], 3)
+}
+
+func TestBusFerriesAcrossVoid(t *testing.T) {
+	// source and destination are parked 2 km apart; a bus drives the gap
+	// the ferry covers the ~1.5 km custody leg in ~50 s, inside its 60 s
+	// bus-buffer TTL
+	vehicles := []routetest.Vehicle{
+		{Pos: geom.V(0, 0)},    // 0: source car
+		{Pos: geom.V(2000, 0)}, // 1: destination car
+		{Pos: geom.V(100, 5), Vel: geom.V(30, 0), Bus: true}, // 2: the ferry
+	}
+	w, ids := routetest.World(t, 1, vehicles, busferry.New())
+	w.AddFlow(ids[0], ids[1], 1, 1, 3, 256)
+	if err := w.Run(90); err != nil {
+		t.Fatal(err)
+	}
+	c := w.Collector()
+	if c.DataDelivered != 3 {
+		t.Fatalf("ferried delivery = %d of 3", c.DataDelivered)
+	}
+	// the ferry takes ~(2000-250-350)/25 ≈ 60 s
+	if c.MeanDelay() < 20 {
+		t.Fatalf("mean delay = %v s, too fast for a ferry", c.MeanDelay())
+	}
+}
+
+func TestNoFerryNoDelivery(t *testing.T) {
+	vehicles := []routetest.Vehicle{
+		{Pos: geom.V(0, 0)},
+		{Pos: geom.V(2000, 0)},
+	}
+	w, ids := routetest.World(t, 1, vehicles, busferry.New())
+	w.AddFlow(ids[0], ids[1], 1, 1, 3, 256)
+	if err := w.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Collector().DataDelivered; got != 0 {
+		t.Fatalf("delivered %d without any ferry", got)
+	}
+}
+
+func TestCarHandsCustodyToBus(t *testing.T) {
+	// a passing bus collects the packet from the source car even though
+	// the destination is far away
+	vehicles := []routetest.Vehicle{
+		{Pos: geom.V(0, 0)},
+		{Pos: geom.V(9000, 0)},
+		{Pos: geom.V(50, 0), Vel: geom.V(20, 0), Bus: true},
+	}
+	w, ids := routetest.World(t, 1, vehicles, busferry.New())
+	w.AddFlow(ids[0], ids[1], 1, 1, 1, 256)
+	if err := w.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	// custody transferred: one data transmission from car to bus
+	if got := w.Collector().DataForwarded; got == 0 {
+		t.Fatal("no custody handoff transmission")
+	}
+}
+
+func TestBufferTTLExpiresCustody(t *testing.T) {
+	vehicles := []routetest.Vehicle{
+		{Pos: geom.V(0, 0)},
+		{Pos: geom.V(50000, 0)},
+	}
+	w, ids := routetest.World(t, 1, vehicles, busferry.New())
+	w.AddFlow(ids[0], ids[1], 1, 1, 2, 256)
+	if err := w.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	c := w.Collector()
+	// car buffer TTL is 10 s: both packets must be dropped by then
+	if c.DataDropped != 2 {
+		t.Fatalf("dropped = %d, want custody expiry", c.DataDropped)
+	}
+}

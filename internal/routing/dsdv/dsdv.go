@@ -1,0 +1,207 @@
+// Package dsdv implements Destination-Sequenced Distance-Vector routing
+// (Perkins & Bhagwat), the proactive member of the survey's connectivity
+// category: every node periodically broadcasts its route table stamped
+// with per-destination sequence numbers; fresher sequence numbers displace
+// stale routes and break count-to-infinity. Its cost profile — constant
+// background control traffic independent of data demand — is one of the
+// "overhead" cons of Table I row 1.
+package dsdv
+
+import (
+	"github.com/vanetlab/relroute/internal/netstack"
+	"github.com/vanetlab/relroute/internal/routing"
+)
+
+// Option configures the router factory.
+type Option func(*Router)
+
+// WithUpdateInterval sets the periodic full-dump interval in seconds
+// (default 2).
+func WithUpdateInterval(d float64) Option {
+	return func(r *Router) { r.updateInterval = d }
+}
+
+// Router is a per-node DSDV instance.
+type Router struct {
+	netstack.Base
+	table          *routing.Table
+	seq            uint32 // own even sequence number
+	updateInterval float64
+	started        bool
+}
+
+// advert is one advertised route.
+type advert struct {
+	Dst  netstack.NodeID
+	Seq  uint32
+	Hops int // hops from the advertiser; -1 marks unreachable
+}
+
+// update is the periodic table dump payload.
+type update struct {
+	Routes []advert
+}
+
+// New returns a DSDV router factory.
+func New(opts ...Option) netstack.RouterFactory {
+	return func() netstack.Router {
+		r := &Router{table: routing.NewTable(), updateInterval: 2}
+		for _, o := range opts {
+			o(r)
+		}
+		return r
+	}
+}
+
+// Name implements netstack.Router.
+func (r *Router) Name() string { return "DSDV" }
+
+// Attach implements netstack.Router and starts the periodic advertiser.
+func (r *Router) Attach(api *netstack.API) {
+	r.Base.Attach(api)
+	if r.started {
+		return
+	}
+	r.started = true
+	// Phase-shift the first dump so nodes don't synchronise.
+	phase := api.Rand().Float64() * r.updateInterval
+	var tickFn func()
+	tickFn = func() {
+		r.advertise()
+		r.API.After(r.updateInterval, tickFn)
+	}
+	api.After(phase, tickFn)
+}
+
+// advertise broadcasts the full route table.
+func (r *Router) advertise() {
+	r.seq += 2 // own sequence numbers stay even while alive
+	now := r.API.Now()
+	routes := []advert{{Dst: r.API.Self(), Seq: r.seq, Hops: 0}}
+	for _, dst := range r.table.Destinations(now) {
+		rt, _ := r.table.Get(dst)
+		routes = append(routes, advert{Dst: dst, Seq: rt.Seq, Hops: rt.Hops})
+	}
+	pkt := &netstack.Packet{
+		UID: r.API.NewUID(), Kind: netstack.KindUpdate, Proto: r.Name(),
+		Src: r.API.Self(), Dst: netstack.Broadcast, TTL: 1,
+		Size: 16 + 12*len(routes), Created: now,
+		Payload: update{Routes: routes},
+	}
+	r.API.Send(netstack.Broadcast, pkt)
+}
+
+// HandlePacket implements netstack.Router.
+func (r *Router) HandlePacket(pkt *netstack.Packet) {
+	switch pkt.Kind {
+	case netstack.KindUpdate:
+		r.handleUpdate(pkt)
+	case netstack.KindData:
+		r.handleData(pkt)
+	}
+}
+
+func (r *Router) handleUpdate(pkt *netstack.Packet) {
+	up, ok := pkt.Payload.(update)
+	if !ok {
+		return
+	}
+	for _, ad := range up.Routes {
+		if ad.Dst == r.API.Self() {
+			continue
+		}
+		if ad.Hops < 0 {
+			// unreachable advertisement: adopt if it is fresher than ours
+			if cur, okCur := r.table.Get(ad.Dst); okCur && cur.Valid && routing.SeqNewer(ad.Seq, cur.Seq) {
+				cur.Valid = false
+				r.API.Metrics().RouteBreaks++
+			}
+			continue
+		}
+		cand := routing.Route{
+			Dst: ad.Dst, NextHop: pkt.From, Hops: ad.Hops + 1,
+			Seq: ad.Seq, Valid: true,
+		}
+		cur, okCur := r.table.Get(ad.Dst)
+		switch {
+		case !okCur || !cur.Valid:
+			r.table.Upsert(cand)
+		case routing.SeqNewer(ad.Seq, cur.Seq):
+			r.table.Upsert(cand)
+		case ad.Seq == cur.Seq && cand.Hops < cur.Hops:
+			r.table.Upsert(cand)
+		}
+	}
+}
+
+func (r *Router) handleData(pkt *netstack.Packet) {
+	if pkt.Dst == r.API.Self() {
+		r.API.Deliver(pkt)
+		return
+	}
+	pkt.TTL--
+	if pkt.Expired() {
+		r.API.Drop(pkt)
+		return
+	}
+	if rt, ok := r.table.Lookup(pkt.Dst, r.API.Now()); ok {
+		r.API.Send(rt.NextHop, pkt)
+		return
+	}
+	r.API.Drop(pkt)
+}
+
+// Originate implements netstack.Router: proactive routing either has the
+// route or drops (no discovery latency, no buffering).
+func (r *Router) Originate(dst netstack.NodeID, size int) {
+	pkt := &netstack.Packet{
+		UID: r.API.NewUID(), Kind: netstack.KindData, Data: true, Proto: r.Name(),
+		Src: r.API.Self(), Dst: dst, TTL: routing.DefaultTTL, Size: size,
+		Created: r.API.Now(),
+	}
+	if dst == r.API.Self() {
+		r.API.Deliver(pkt)
+		return
+	}
+	if rt, ok := r.table.Lookup(dst, r.API.Now()); ok {
+		r.API.Send(rt.NextHop, pkt)
+		return
+	}
+	r.API.Drop(pkt)
+}
+
+// OnNeighborExpired implements netstack.Router: mark routes through the
+// lost neighbor unreachable and advertise the break with odd sequence
+// numbers (the DSDV link-break rule).
+func (r *Router) OnNeighborExpired(id netstack.NodeID) {
+	broken := r.table.InvalidateVia(id)
+	if len(broken) == 0 {
+		return
+	}
+	r.API.Metrics().RouteBreaks += len(broken)
+	now := r.API.Now()
+	routes := make([]advert, 0, len(broken))
+	for _, dst := range broken {
+		rt, _ := r.table.Get(dst)
+		routes = append(routes, advert{Dst: dst, Seq: rt.Seq + 1, Hops: -1})
+	}
+	pkt := &netstack.Packet{
+		UID: r.API.NewUID(), Kind: netstack.KindUpdate, Proto: r.Name(),
+		Src: r.API.Self(), Dst: netstack.Broadcast, TTL: 1,
+		Size: 16 + 12*len(routes), Created: now,
+		Payload: update{Routes: routes},
+	}
+	r.API.Send(netstack.Broadcast, pkt)
+}
+
+// OnSendFailed implements netstack.Router: treat like a neighbor loss.
+func (r *Router) OnSendFailed(pkt *netstack.Packet, to netstack.NodeID) {
+	r.API.ForgetNeighbor(to)
+	r.OnNeighborExpired(to)
+	if pkt.Data {
+		r.API.Drop(pkt)
+	}
+}
+
+// Table exposes the route table for tests.
+func (r *Router) Table() *routing.Table { return r.table }

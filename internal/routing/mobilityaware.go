@@ -1,0 +1,40 @@
+package routing
+
+import (
+	"github.com/vanetlab/relroute/internal/link"
+	"github.com/vanetlab/relroute/internal/netstack"
+)
+
+// LinkLifetime predicts the remaining lifetime of the link between this
+// node and neighbor id, solving Eqn (4) on the kinematics advertised in
+// the neighbor's latest beacon. It returns 0 when id is not a live
+// neighbor (the link is already considered down) and link.Forever when the
+// relative velocity is zero.
+func LinkLifetime(api *netstack.API, id netstack.NodeID) float64 {
+	nb, ok := api.Neighbor(id)
+	if !ok {
+		return 0
+	}
+	return link.LifetimeVec(nb.Pos, nb.Vel, api.Pos(), api.Vel(), api.RangeEstimate())
+}
+
+// LinkLifetimeBetween predicts the lifetime of the link between two of
+// this node's neighbors a and b, from their beaconed kinematics.
+func LinkLifetimeBetween(api *netstack.API, a, b netstack.Neighbor) float64 {
+	return link.LifetimeVec(a.Pos, a.Vel, b.Pos, b.Vel, api.RangeEstimate())
+}
+
+// DirectionTo classifies the relative direction of a neighbor using the
+// Fig. 4 decomposition.
+func DirectionTo(api *netstack.API, nb netstack.Neighbor) link.DirectionClass {
+	return link.Classify(api.Pos(), api.Vel(), nb.Pos, nb.Vel)
+}
+
+// MinLifetime folds a new link lifetime into a path lifetime accumulator
+// (the paper's min-over-links composition).
+func MinLifetime(pathSoFar, newLink float64) float64 {
+	if newLink < pathSoFar {
+		return newLink
+	}
+	return pathSoFar
+}

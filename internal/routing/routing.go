@@ -1,0 +1,211 @@
+// Package routing holds the building blocks shared by every protocol
+// implementation: duplicate caches, distance-vector route tables, pending
+// data queues, and sequence-number arithmetic. The concrete protocols live
+// in the subpackages (one per surveyed protocol family) and in
+// internal/core for the paper's own ticket-probing protocol.
+package routing
+
+import (
+	"sort"
+
+	"github.com/vanetlab/relroute/internal/netstack"
+)
+
+// DefaultTTL is the hop budget given to flooded control packets and data;
+// VANET diameters in the experiments stay well below it.
+const DefaultTTL = 32
+
+// DupKey identifies a flooded packet instance: origin plus origin-local
+// sequence number.
+type DupKey struct {
+	Origin netstack.NodeID
+	Seq    uint64
+}
+
+// DupCache remembers recently seen flooded packets so they are forwarded
+// at most once. Entries expire after TTL seconds to bound memory.
+type DupCache struct {
+	ttl     float64
+	seen    map[DupKey]float64 // key → insertion time
+	sweepAt float64
+}
+
+// NewDupCache returns a cache whose entries persist for ttl seconds.
+func NewDupCache(ttl float64) *DupCache {
+	if ttl <= 0 {
+		ttl = 30
+	}
+	return &DupCache{ttl: ttl, seen: make(map[DupKey]float64)}
+}
+
+// Seen records the key and reports whether it was already present.
+func (c *DupCache) Seen(k DupKey, now float64) bool {
+	if now >= c.sweepAt {
+		for key, at := range c.seen {
+			if now-at > c.ttl {
+				delete(c.seen, key)
+			}
+		}
+		c.sweepAt = now + c.ttl
+	}
+	if _, ok := c.seen[k]; ok {
+		return true
+	}
+	c.seen[k] = now
+	return false
+}
+
+// Len returns the number of live entries (after lazily expiring on Seen).
+func (c *DupCache) Len() int { return len(c.seen) }
+
+// SeqNewer implements the circular sequence-number comparison used by
+// AODV/DSDV: a is fresher than b. Equal numbers are not newer.
+func SeqNewer(a, b uint32) bool {
+	return int32(a-b) > 0
+}
+
+// Route is one distance-vector route entry.
+type Route struct {
+	Dst      netstack.NodeID
+	NextHop  netstack.NodeID
+	Hops     int
+	Seq      uint32
+	Expiry   float64 // sim time after which the route is stale; 0 = none
+	Valid    bool
+	Lifetime float64 // predicted remaining path lifetime (mobility protocols)
+}
+
+// Table is a per-node route table.
+type Table struct {
+	routes map[netstack.NodeID]*Route
+}
+
+// NewTable returns an empty route table.
+func NewTable() *Table {
+	return &Table{routes: make(map[netstack.NodeID]*Route)}
+}
+
+// Get returns the entry for dst, valid or not.
+func (t *Table) Get(dst netstack.NodeID) (*Route, bool) {
+	r, ok := t.routes[dst]
+	return r, ok
+}
+
+// Lookup returns the entry only when it is valid and unexpired at now.
+func (t *Table) Lookup(dst netstack.NodeID, now float64) (*Route, bool) {
+	r, ok := t.routes[dst]
+	if !ok || !r.Valid {
+		return nil, false
+	}
+	if r.Expiry > 0 && now > r.Expiry {
+		r.Valid = false
+		return nil, false
+	}
+	return r, true
+}
+
+// Upsert inserts or replaces the entry for r.Dst and returns it.
+func (t *Table) Upsert(r Route) *Route {
+	cp := r
+	t.routes[r.Dst] = &cp
+	return &cp
+}
+
+// Invalidate marks the route to dst broken; it reports whether a valid
+// route existed.
+func (t *Table) Invalidate(dst netstack.NodeID) bool {
+	r, ok := t.routes[dst]
+	if !ok || !r.Valid {
+		return false
+	}
+	r.Valid = false
+	return true
+}
+
+// InvalidateVia invalidates every valid route whose next hop is via and
+// returns the affected destinations (sorted, deterministic).
+func (t *Table) InvalidateVia(via netstack.NodeID) []netstack.NodeID {
+	var out []netstack.NodeID
+	for dst, r := range t.routes {
+		if r.Valid && r.NextHop == via {
+			r.Valid = false
+			out = append(out, dst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Destinations returns all destinations with valid routes (sorted).
+func (t *Table) Destinations(now float64) []netstack.NodeID {
+	var out []netstack.NodeID
+	for dst, r := range t.routes {
+		if r.Valid && (r.Expiry == 0 || now <= r.Expiry) {
+			out = append(out, dst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of entries (including invalid ones).
+func (t *Table) Len() int { return len(t.routes) }
+
+// PendingQueue buffers data packets awaiting a route, per destination,
+// dropping the oldest beyond the cap and expiring packets after maxWait.
+type PendingQueue struct {
+	cap     int
+	maxWait float64
+	byDst   map[netstack.NodeID][]*netstack.Packet
+}
+
+// NewPendingQueue returns a queue holding at most capPerDst packets per
+// destination for at most maxWait seconds.
+func NewPendingQueue(capPerDst int, maxWait float64) *PendingQueue {
+	if capPerDst <= 0 {
+		capPerDst = 16
+	}
+	if maxWait <= 0 {
+		maxWait = 10
+	}
+	return &PendingQueue{cap: capPerDst, maxWait: maxWait, byDst: make(map[netstack.NodeID][]*netstack.Packet)}
+}
+
+// Push buffers pkt for dst. It returns the packet evicted to make room, if
+// any.
+func (q *PendingQueue) Push(dst netstack.NodeID, pkt *netstack.Packet) (evicted *netstack.Packet) {
+	list := q.byDst[dst]
+	if len(list) >= q.cap {
+		evicted = list[0]
+		list = list[1:]
+	}
+	q.byDst[dst] = append(list, pkt)
+	return evicted
+}
+
+// PopAll removes and returns every buffered packet for dst that has not
+// exceeded maxWait by now; expired ones are returned separately.
+func (q *PendingQueue) PopAll(dst netstack.NodeID, now float64) (fresh, expired []*netstack.Packet) {
+	list := q.byDst[dst]
+	delete(q.byDst, dst)
+	for _, p := range list {
+		if now-p.Created > q.maxWait {
+			expired = append(expired, p)
+		} else {
+			fresh = append(fresh, p)
+		}
+	}
+	return fresh, expired
+}
+
+// Waiting reports whether packets are buffered for dst.
+func (q *PendingQueue) Waiting(dst netstack.NodeID) bool { return len(q.byDst[dst]) > 0 }
+
+// Len returns the total number of buffered packets.
+func (q *PendingQueue) Len() int {
+	n := 0
+	for _, l := range q.byDst {
+		n += len(l)
+	}
+	return n
+}

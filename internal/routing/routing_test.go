@@ -1,0 +1,133 @@
+package routing
+
+import (
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/netstack"
+)
+
+func TestDupCache(t *testing.T) {
+	c := NewDupCache(10)
+	k := DupKey{Origin: 1, Seq: 7}
+	if c.Seen(k, 0) {
+		t.Fatal("fresh key reported seen")
+	}
+	if !c.Seen(k, 1) {
+		t.Fatal("repeated key not seen")
+	}
+	if c.Seen(DupKey{Origin: 2, Seq: 7}, 1) {
+		t.Fatal("different origin collided")
+	}
+	if c.Seen(DupKey{Origin: 1, Seq: 8}, 1) {
+		t.Fatal("different seq collided")
+	}
+}
+
+func TestDupCacheExpiry(t *testing.T) {
+	c := NewDupCache(5)
+	c.Seen(DupKey{Origin: 1, Seq: 1}, 0)
+	// after ttl passes and a sweep triggers, the key is forgotten
+	if c.Seen(DupKey{Origin: 9, Seq: 9}, 11) {
+		t.Fatal("sweep-trigger key reported seen")
+	}
+	if c.Seen(DupKey{Origin: 1, Seq: 1}, 11.5) {
+		t.Fatal("expired key still present after sweep")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestSeqNewer(t *testing.T) {
+	tests := []struct {
+		a, b uint32
+		want bool
+	}{
+		{2, 1, true},
+		{1, 2, false},
+		{5, 5, false},
+		{0, 4294967295, true}, // wraparound: 0 is fresher than max
+		{4294967295, 0, false},
+	}
+	for _, tc := range tests {
+		if got := SeqNewer(tc.a, tc.b); got != tc.want {
+			t.Errorf("SeqNewer(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	tb := NewTable()
+	if _, ok := tb.Lookup(5, 0); ok {
+		t.Fatal("lookup on empty table")
+	}
+	tb.Upsert(Route{Dst: 5, NextHop: 2, Hops: 3, Expiry: 10, Valid: true})
+	rt, ok := tb.Lookup(5, 5)
+	if !ok || rt.NextHop != 2 {
+		t.Fatalf("lookup = %+v, %v", rt, ok)
+	}
+	// expired routes turn invalid on lookup
+	if _, ok := tb.Lookup(5, 11); ok {
+		t.Fatal("expired route returned")
+	}
+	if rt, _ := tb.Get(5); rt.Valid {
+		t.Fatal("expired route still marked valid")
+	}
+	// zero expiry means no expiry
+	tb.Upsert(Route{Dst: 6, NextHop: 2, Valid: true})
+	if _, ok := tb.Lookup(6, 1e9); !ok {
+		t.Fatal("no-expiry route expired")
+	}
+}
+
+func TestTableInvalidate(t *testing.T) {
+	tb := NewTable()
+	tb.Upsert(Route{Dst: 1, NextHop: 10, Valid: true})
+	tb.Upsert(Route{Dst: 2, NextHop: 10, Valid: true})
+	tb.Upsert(Route{Dst: 3, NextHop: 11, Valid: true})
+	if !tb.Invalidate(1) {
+		t.Fatal("invalidate reported false")
+	}
+	if tb.Invalidate(1) {
+		t.Fatal("double invalidate reported true")
+	}
+	broken := tb.InvalidateVia(10)
+	if len(broken) != 1 || broken[0] != 2 {
+		t.Fatalf("InvalidateVia = %v", broken)
+	}
+	dsts := tb.Destinations(0)
+	if len(dsts) != 1 || dsts[0] != 3 {
+		t.Fatalf("destinations = %v", dsts)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+}
+
+func TestPendingQueue(t *testing.T) {
+	q := NewPendingQueue(2, 5)
+	mk := func(created float64) *netstack.Packet {
+		return &netstack.Packet{Created: created}
+	}
+	if ev := q.Push(1, mk(0)); ev != nil {
+		t.Fatal("eviction on first push")
+	}
+	q.Push(1, mk(1))
+	ev := q.Push(1, mk(2)) // cap 2: oldest evicted
+	if ev == nil || ev.Created != 0 {
+		t.Fatalf("evicted = %+v", ev)
+	}
+	if !q.Waiting(1) || q.Waiting(2) {
+		t.Fatal("Waiting wrong")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	fresh, expired := q.PopAll(1, 6.5)
+	if len(fresh) != 1 || len(expired) != 1 {
+		t.Fatalf("fresh=%d expired=%d", len(fresh), len(expired))
+	}
+	if q.Waiting(1) {
+		t.Fatal("queue not drained")
+	}
+}

@@ -1,0 +1,438 @@
+// Package scenario assembles complete simulation runs: a road network, a
+// mobility model populated with vehicles (and optionally buses and RSUs),
+// a radio stack, one routing protocol instantiated on every node, and a
+// set of application flows. Every experiment in the harness is a grid of
+// scenarios built here, so protocol categories are compared on identical
+// worlds, seeds, and flows.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/core"
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/mobility"
+	"github.com/vanetlab/relroute/internal/netstack"
+	"github.com/vanetlab/relroute/internal/prob"
+	"github.com/vanetlab/relroute/internal/roadnet"
+	"github.com/vanetlab/relroute/internal/routing/abedi"
+	"github.com/vanetlab/relroute/internal/routing/aodv"
+	"github.com/vanetlab/relroute/internal/routing/busferry"
+	"github.com/vanetlab/relroute/internal/routing/car"
+	"github.com/vanetlab/relroute/internal/routing/dsdv"
+	"github.com/vanetlab/relroute/internal/routing/dsr"
+	"github.com/vanetlab/relroute/internal/routing/flood"
+	"github.com/vanetlab/relroute/internal/routing/gateway"
+	"github.com/vanetlab/relroute/internal/routing/greedy"
+	"github.com/vanetlab/relroute/internal/routing/gvgrid"
+	"github.com/vanetlab/relroute/internal/routing/hybrid"
+	"github.com/vanetlab/relroute/internal/routing/niude"
+	"github.com/vanetlab/relroute/internal/routing/pbr"
+	"github.com/vanetlab/relroute/internal/routing/rear"
+	"github.com/vanetlab/relroute/internal/routing/rsu"
+	"github.com/vanetlab/relroute/internal/routing/taleb"
+	"github.com/vanetlab/relroute/internal/routing/zone"
+)
+
+// Protocols lists every runnable protocol name accepted by Build.
+func Protocols() []string {
+	return []string{
+		"Flooding", "Biswas", "AODV", "DSDV", "DSR",
+		"PBR", "Taleb", "Abedi",
+		"DRR", "Bus",
+		"Greedy", "Zone", "LORA-DCBF",
+		"REAR", "CAR", "GVGrid", "Yan-TBP", "TBP-SS",
+		"NiuDe", "Hybrid",
+	}
+}
+
+// Kind selects the world topology.
+type Kind int
+
+const (
+	// HighwayKind is a straight bidirectional multi-lane highway.
+	HighwayKind Kind = iota + 1
+	// CityKind is a Manhattan street grid.
+	CityKind
+	// RingKind is a closed loop that holds density constant indefinitely.
+	RingKind
+)
+
+// Options parameterise a scenario. Zero values take the defaults noted on
+// each field.
+type Options struct {
+	// Seed drives everything; equal seeds give byte-identical runs.
+	Seed int64
+	// Kind of topology (default HighwayKind).
+	Kind Kind
+	// Vehicles to scatter (default 60).
+	Vehicles int
+	// HighwayLength in meters for highway/ring topologies (default 2000).
+	HighwayLength float64
+	// LanesPerDirection for highway topologies (default 2).
+	LanesPerDirection int
+	// GridN is the junction count per side for city topologies
+	// (default 4) with 400 m blocks.
+	GridN int
+	// SpeedMean and SpeedStd parameterise desired speeds in m/s
+	// (defaults 30 and 6 — heterogeneous highway traffic).
+	SpeedMean, SpeedStd float64
+	// Range is the unit-disk radio range in meters when Channel is nil
+	// (default 250).
+	Range float64
+	// Channel overrides the propagation model.
+	Channel channel.Model
+	// Shadowing switches the default channel to log-normal shadowing.
+	Shadowing bool
+	// RSUs places this many road-side units evenly along the topology.
+	// Zero means "protocol default" (2 for DRR, none otherwise); −1 means
+	// explicitly none even for DRR (the Fig. 5 baseline).
+	RSUs int
+	// Buses adds this many ferry buses looping the topology (default 0;
+	// Bus protocol requires ≥ 1).
+	Buses int
+	// Flows is the number of CBR flows between random vehicle pairs
+	// (default 4).
+	Flows int
+	// FlowPackets per flow (default 30).
+	FlowPackets int
+	// FlowInterval seconds between packets (default 0.5).
+	FlowInterval float64
+	// PacketSize in bytes (default 512).
+	PacketSize int
+	// Duration of the run in seconds (default 60).
+	Duration float64
+	// WarmUp delays the first flow packet (default 5 s) so beacons and
+	// proactive tables converge.
+	WarmUp float64
+	// TicketBudget overrides the TBP-SS ticket count (default 3).
+	TicketBudget int
+	// StabilityThreshold overrides the TBP-SS constraint (default 3 s).
+	StabilityThreshold float64
+	// DirectionBias toggles greedy's direction tie-break (default true).
+	DirectionBiasOff bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Kind == 0 {
+		o.Kind = HighwayKind
+	}
+	if o.Vehicles <= 0 {
+		o.Vehicles = 60
+	}
+	if o.HighwayLength <= 0 {
+		o.HighwayLength = 2000
+	}
+	if o.LanesPerDirection <= 0 {
+		o.LanesPerDirection = 2
+	}
+	if o.GridN <= 0 {
+		o.GridN = 4
+	}
+	if o.SpeedMean <= 0 {
+		o.SpeedMean = 30
+	}
+	if o.SpeedStd < 0 {
+		o.SpeedStd = 0
+	} else if o.SpeedStd == 0 {
+		o.SpeedStd = 6
+	}
+	if o.Range <= 0 {
+		o.Range = 250
+	}
+	if o.Flows <= 0 {
+		o.Flows = 4
+	}
+	if o.FlowPackets <= 0 {
+		o.FlowPackets = 30
+	}
+	if o.FlowInterval <= 0 {
+		o.FlowInterval = 0.5
+	}
+	if o.PacketSize <= 0 {
+		o.PacketSize = 512
+	}
+	if o.Duration <= 0 {
+		o.Duration = 60
+	}
+	if o.WarmUp <= 0 {
+		o.WarmUp = 5
+	}
+	if o.TicketBudget <= 0 {
+		o.TicketBudget = 3
+	}
+	if o.StabilityThreshold <= 0 {
+		o.StabilityThreshold = 3
+	}
+}
+
+// Scenario is an assembled, not-yet-run simulation.
+type Scenario struct {
+	Name     string
+	Protocol string
+	World    *netstack.World
+	Net      *roadnet.Network
+	Model    *mobility.RoadModel
+	Vehicles []netstack.NodeID
+	RSUs     []netstack.NodeID
+	Opts     Options
+}
+
+// Build assembles a scenario running the named protocol.
+func Build(protocol string, opts Options) (*Scenario, error) {
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	net, segments, err := buildNetwork(opts)
+	if err != nil {
+		return nil, err
+	}
+	model := mobility.NewRoadModel(net, rand.New(rand.NewSource(rng.Int63())), mobility.ContinueRandom)
+	mobility.Populate(model, rand.New(rand.NewSource(rng.Int63())), mobility.PopulateOptions{
+		Count:     opts.Vehicles,
+		SpeedMean: opts.SpeedMean,
+		SpeedStd:  opts.SpeedStd,
+		Segments:  segments,
+	})
+	if opts.Buses > 0 {
+		var loop []roadnet.SegmentID
+		for i := 0; i < net.Segments(); i++ {
+			loop = append(loop, roadnet.SegmentID(i))
+		}
+		mobility.AddBusLine(model, loop, opts.Buses, opts.SpeedMean*0.7)
+	}
+
+	ch := opts.Channel
+	if ch == nil {
+		if opts.Shadowing {
+			m := channelReceiptFor(opts.Range)
+			ch = channel.NewShadowing(m)
+		} else {
+			ch = channel.UnitDisk{Range: opts.Range}
+		}
+	}
+	world := netstack.NewWorld(netstack.Config{
+		Seed:    rng.Int63(),
+		Channel: ch,
+	}, model)
+
+	sc := &Scenario{
+		Name:     fmt.Sprintf("%s/%d-veh", kindName(opts.Kind), opts.Vehicles),
+		Protocol: protocol,
+		World:    world, Net: net, Model: model, Opts: opts,
+	}
+
+	factory, static, err := sc.protocolFactory(protocol)
+	if err != nil {
+		return nil, err
+	}
+	sc.Vehicles = world.AddVehicleNodes(factory)
+	if static != nil {
+		static(sc)
+	}
+	sc.addFlows(rand.New(rand.NewSource(opts.Seed + 7)))
+	return sc, nil
+}
+
+func kindName(k Kind) string {
+	switch k {
+	case CityKind:
+		return "city"
+	case RingKind:
+		return "ring"
+	default:
+		return "highway"
+	}
+}
+
+func buildNetwork(opts Options) (*roadnet.Network, []roadnet.SegmentID, error) {
+	switch opts.Kind {
+	case CityKind:
+		net, err := roadnet.Grid(opts.GridN, opts.GridN, 400, 1, 14)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: build city: %w", err)
+		}
+		return net, nil, nil
+	case RingKind:
+		net, err := roadnet.Ring(opts.HighwayLength, 16, opts.LanesPerDirection, opts.SpeedMean+10)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: build ring: %w", err)
+		}
+		return net, nil, nil
+	default:
+		net, eb, wb, err := roadnet.Highway(opts.HighwayLength, opts.LanesPerDirection, opts.SpeedMean+10)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: build highway: %w", err)
+		}
+		return net, []roadnet.SegmentID{eb, wb}, nil
+	}
+}
+
+// channelReceiptFor tunes the shadowing model so its median range is close
+// to the requested unit-disk range.
+func channelReceiptFor(r float64) prob.ReceiptModel {
+	m := prob.DefaultReceiptModel()
+	// adjust the receiver threshold so that MedianRange ≈ r
+	lo, hi := -120.0, -40.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		m.RxThreshDBm = mid
+		if m.MedianRange() > r {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return m
+}
+
+// protocolFactory resolves a protocol name to a vehicle router factory and
+// an optional static-node installer (for RSUs).
+func (s *Scenario) protocolFactory(name string) (netstack.RouterFactory, func(*Scenario), error) {
+	switch name {
+	case "Flooding":
+		return flood.New(), s.maybeRSUs(nil), nil
+	case "Biswas":
+		return flood.NewBiswas(), s.maybeRSUs(nil), nil
+	case "AODV":
+		return aodv.New(), s.maybeRSUs(nil), nil
+	case "DSDV":
+		return dsdv.New(), s.maybeRSUs(nil), nil
+	case "DSR":
+		return dsr.New(), s.maybeRSUs(nil), nil
+	case "PBR":
+		return pbr.New(), s.maybeRSUs(nil), nil
+	case "Taleb":
+		return taleb.New(), s.maybeRSUs(nil), nil
+	case "Abedi":
+		return abedi.New(), s.maybeRSUs(nil), nil
+	case "Greedy":
+		return greedy.New(greedy.WithDirectionBias(!s.Opts.DirectionBiasOff)), s.maybeRSUs(nil), nil
+	case "Zone":
+		return zone.New(nil), s.maybeRSUs(nil), nil
+	case "LORA-DCBF":
+		return gateway.New(), s.maybeRSUs(nil), nil
+	case "REAR":
+		return rear.New(), s.maybeRSUs(nil), nil
+	case "Bus":
+		return busferry.New(), s.maybeRSUs(nil), nil
+	case "DRR":
+		if s.Opts.RSUs == 0 {
+			s.Opts.RSUs = 2
+		}
+		backbone := rsu.NewBackbone()
+		return rsu.NewVehicle(), s.maybeRSUs(backbone), nil
+	case "CAR":
+		dmap := car.NewDensityMap(s.Net, s.World.Channel().MeanRange())
+		s.installDensityRefresh(dmap)
+		return car.New(dmap), s.maybeRSUs(nil), nil
+	case "GVGrid":
+		return gvgrid.New(), s.maybeRSUs(nil), nil
+	case "Yan-TBP":
+		return core.NewTicketRouter(
+			core.WithMetric(core.MetricExpectedDuration),
+			core.WithTickets(s.Opts.TicketBudget),
+			core.WithStabilityThreshold(s.Opts.StabilityThreshold),
+		), s.maybeRSUs(nil), nil
+	case "TBP-SS":
+		return core.NewTicketRouter(
+			core.WithMetric(core.MetricMeanDuration),
+			core.WithTickets(s.Opts.TicketBudget),
+			core.WithStabilityThreshold(s.Opts.StabilityThreshold),
+		), s.maybeRSUs(nil), nil
+	case "NiuDe":
+		return niude.New(), s.maybeRSUs(nil), nil
+	case "Hybrid":
+		return hybrid.New(hybrid.Config{
+			Tickets:            s.Opts.TicketBudget,
+			StabilityThreshold: s.Opts.StabilityThreshold,
+		}), s.maybeRSUs(nil), nil
+	default:
+		return nil, nil, fmt.Errorf("scenario: unknown protocol %q (known: %v)", name, Protocols())
+	}
+}
+
+// maybeRSUs returns the static-node installer: with a backbone it places
+// DRR RSU routers; without, RSUs are omitted (they only matter to DRR).
+func (s *Scenario) maybeRSUs(backbone *rsu.Backbone) func(*Scenario) {
+	return func(sc *Scenario) {
+		if sc.Opts.RSUs <= 0 || backbone == nil {
+			return
+		}
+		positions := rsuPositions(sc.Net, sc.Opts.RSUs)
+		for _, p := range positions {
+			id := sc.World.AddStaticNode(netstack.RSU, p, rsu.NewUnit(backbone))
+			sc.RSUs = append(sc.RSUs, id)
+		}
+	}
+}
+
+// rsuPositions spreads n RSUs evenly over the network bounds' long axis.
+func rsuPositions(net *roadnet.Network, n int) []geom.Vec2 {
+	b := net.Bounds()
+	out := make([]geom.Vec2, 0, n)
+	for i := 0; i < n; i++ {
+		frac := (float64(i) + 0.5) / float64(n)
+		out = append(out, geom.V(b.Min.X+frac*b.Width(), b.Center().Y))
+	}
+	return out
+}
+
+// installDensityRefresh samples true vehicle positions once per second to
+// feed CAR's density map (idealised density dissemination; see the CAR
+// package comment).
+func (s *Scenario) installDensityRefresh(dmap *car.DensityMap) {
+	world := s.World
+	eng := world.Engine()
+	var refresh func()
+	refresh = func() {
+		positions := make([]geom.Vec2, 0, world.Nodes())
+		for id := 0; id < world.Nodes(); id++ {
+			if kind, ok := world.KindOf(netstack.NodeID(id)); ok && kind != netstack.RSU {
+				if p, okP := world.PositionOf(netstack.NodeID(id)); okP {
+					positions = append(positions, p)
+				}
+			}
+		}
+		dmap.Update(positions)
+		eng.After(1.0, refresh)
+	}
+	eng.After(0, refresh)
+}
+
+// addFlows wires CBR flows between distinct random vehicle pairs.
+func (s *Scenario) addFlows(rng *rand.Rand) {
+	n := len(s.Vehicles)
+	if n < 2 {
+		return
+	}
+	for f := 0; f < s.Opts.Flows; f++ {
+		src := s.Vehicles[rng.Intn(n)]
+		dst := s.Vehicles[rng.Intn(n)]
+		for dst == src {
+			dst = s.Vehicles[rng.Intn(n)]
+		}
+		start := s.Opts.WarmUp + rng.Float64()*2
+		s.World.AddFlow(src, dst, start, s.Opts.FlowInterval, s.Opts.FlowPackets, s.Opts.PacketSize)
+	}
+}
+
+// Run executes the scenario and returns the metrics summary.
+func (s *Scenario) Run() (metrics.Summary, error) {
+	if err := s.World.Run(s.Opts.Duration); err != nil {
+		return metrics.Summary{}, fmt.Errorf("scenario %s/%s: %w", s.Protocol, s.Name, err)
+	}
+	return s.World.Collector().Summarize(s.Protocol, s.Name), nil
+}
+
+// RunProtocol is the one-call convenience: build and run.
+func RunProtocol(protocol string, opts Options) (metrics.Summary, error) {
+	sc, err := Build(protocol, opts)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	return sc.Run()
+}

@@ -1,0 +1,139 @@
+// Package sim provides the discrete-event simulation engine: a virtual
+// clock, an event scheduler, and deterministic per-component random number
+// streams. Every experiment in the repository runs on this engine, so a
+// scenario seed fully determines a run.
+package sim
+
+import (
+	"errors"
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/eventq"
+)
+
+// ErrStopped is returned by Run when the engine was halted by Stop before
+// reaching the requested end time.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// TimerID identifies a scheduled callback so it can be cancelled.
+type TimerID = eventq.ID
+
+// Engine is the discrete-event simulator core. It is single-threaded by
+// design: all callbacks run on the goroutine that called Run, which removes
+// any need for locking in the models layered on top of it.
+type Engine struct {
+	now     float64
+	q       eventq.Queue
+	root    *rand.Rand
+	stopped bool
+	events  uint64
+}
+
+// NewEngine returns an engine whose random streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{root: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// EventCount returns the number of events executed so far. It is used by
+// benchmarks to report simulator throughput.
+func (e *Engine) EventCount() uint64 { return e.events }
+
+// Pending returns the number of scheduled events that have not yet fired.
+func (e *Engine) Pending() int { return e.q.Len() }
+
+// Rand derives a new deterministic random stream. Each component (channel,
+// MAC, mobility, each router) should take its own stream at construction
+// time so that adding randomness to one component does not perturb others.
+func (e *Engine) Rand() *rand.Rand {
+	return rand.New(rand.NewSource(e.root.Int63()))
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past is
+// clamped to "now" so callers don't silently lose events.
+func (e *Engine) At(at float64, fn func()) TimerID {
+	if at < e.now {
+		at = e.now
+	}
+	return e.q.Schedule(at, fn)
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) TimerID {
+	if d < 0 {
+		d = 0
+	}
+	return e.q.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending timer. It reports whether a pending event was
+// actually cancelled.
+func (e *Engine) Cancel(id TimerID) bool { return e.q.Cancel(id) }
+
+// Stop halts Run after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the clock reaches until (events
+// scheduled exactly at until still fire) or the queue drains. It returns
+// ErrStopped if Stop was called.
+func (e *Engine) Run(until float64) error {
+	e.stopped = false
+	for {
+		if e.stopped {
+			return ErrStopped
+		}
+		at, ok := e.q.PeekTime()
+		if !ok || at > until {
+			e.now = until
+			return nil
+		}
+		_, fn, _ := e.q.Pop()
+		e.now = at
+		e.events++
+		fn()
+	}
+}
+
+// Drain executes every remaining event regardless of time. It is mainly
+// useful in tests that want to flush trailing timers.
+func (e *Engine) Drain() {
+	for {
+		at, fn, ok := e.q.Pop()
+		if !ok {
+			return
+		}
+		e.now = at
+		e.events++
+		fn()
+	}
+}
+
+// Ticker invokes fn every interval seconds starting at start, until the
+// returned stop function is called. A jitter fraction in [0,1) randomises
+// each period by ±jitter/2·interval to avoid global phase locking (real
+// beacon implementations do the same).
+func (e *Engine) Ticker(start, interval, jitter float64, rng *rand.Rand, fn func()) (stop func()) {
+	var id TimerID
+	stopped := false
+	var schedule func(at float64)
+	schedule = func(at float64) {
+		id = e.At(at, func() {
+			if stopped {
+				return
+			}
+			fn()
+			next := e.now + interval
+			if jitter > 0 && rng != nil {
+				next += interval * jitter * (rng.Float64() - 0.5)
+			}
+			schedule(next)
+		})
+	}
+	schedule(start)
+	return func() {
+		stopped = true
+		e.Cancel(id)
+	}
+}

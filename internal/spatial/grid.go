@@ -1,0 +1,142 @@
+// Package spatial provides a uniform-grid index over node positions. The
+// MAC layer uses it to find candidate receivers of a broadcast without
+// scanning every node, and geographic routers use it for range queries.
+package spatial
+
+import (
+	"math"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+// Grid is a uniform spatial hash over int32 item IDs. The zero value is not
+// usable; construct with NewGrid.
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]int32
+	pos   map[int32]geom.Vec2
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// NewGrid returns a grid with the given cell size in meters. Cell size
+// should be on the order of the radio range so range queries touch at most
+// nine cells.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]int32),
+		pos:   make(map[int32]geom.Vec2),
+	}
+}
+
+// CellSize returns the configured cell edge length.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Len returns the number of indexed items.
+func (g *Grid) Len() int { return len(g.pos) }
+
+func (g *Grid) key(p geom.Vec2) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / g.cell)),
+		cy: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Update inserts the item or moves it to a new position.
+func (g *Grid) Update(id int32, p geom.Vec2) {
+	if old, ok := g.pos[id]; ok {
+		ok2 := g.key(old)
+		nk := g.key(p)
+		if ok2 == nk {
+			g.pos[id] = p
+			return
+		}
+		g.removeFromCell(ok2, id)
+	}
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], id)
+	g.pos[id] = p
+}
+
+// Remove deletes the item from the index. Removing an unknown item is a
+// no-op.
+func (g *Grid) Remove(id int32) {
+	p, ok := g.pos[id]
+	if !ok {
+		return
+	}
+	g.removeFromCell(g.key(p), id)
+	delete(g.pos, id)
+}
+
+func (g *Grid) removeFromCell(k cellKey, id int32) {
+	items := g.cells[k]
+	for i, v := range items {
+		if v == id {
+			items[i] = items[len(items)-1]
+			items = items[:len(items)-1]
+			break
+		}
+	}
+	if len(items) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = items
+	}
+}
+
+// Position returns the indexed position of the item.
+func (g *Grid) Position(id int32) (geom.Vec2, bool) {
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// Within appends to dst the IDs of all items within radius r of p
+// (excluding none) and returns the extended slice. Passing a reused dst
+// slice avoids allocation in the MAC hot path.
+func (g *Grid) Within(p geom.Vec2, r float64, dst []int32) []int32 {
+	if r < 0 {
+		return dst
+	}
+	r2 := r * r
+	minK := g.key(geom.V(p.X-r, p.Y-r))
+	maxK := g.key(geom.V(p.X+r, p.Y+r))
+	for cx := minK.cx; cx <= maxK.cx; cx++ {
+		for cy := minK.cy; cy <= maxK.cy; cy++ {
+			for _, id := range g.cells[cellKey{cx, cy}] {
+				if g.pos[id].DistSq(p) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Nearest returns the indexed item closest to p, excluding the item with id
+// skip (pass a negative value to exclude nothing). ok is false when the
+// index is empty or holds only the skipped item.
+func (g *Grid) Nearest(p geom.Vec2, skip int32) (id int32, dist float64, ok bool) {
+	// Expanding ring search over cells, falling back to full scan for
+	// small indexes.
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	for i, q := range g.pos {
+		if i == skip {
+			continue
+		}
+		d2 := q.DistSq(p)
+		if d2 < bestD2 {
+			bestD2 = d2
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, math.Sqrt(bestD2), true
+}

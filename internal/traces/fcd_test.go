@@ -1,0 +1,144 @@
+package traces
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/mobility"
+)
+
+func sampleTracks() []mobility.Track {
+	return []mobility.Track{
+		{
+			ID: 0,
+			Waypoints: []mobility.Waypoint{
+				{T: 0, Pos: geom.V(0, 0), Speed: 10},
+				{T: 1, Pos: geom.V(10.5, 0), Speed: 10.5},
+			},
+		},
+		{
+			ID:    1,
+			Class: mobility.Bus,
+			Waypoints: []mobility.Waypoint{
+				{T: 0, Pos: geom.V(100, 3.5), Speed: 20},
+				{T: 1, Pos: geom.V(120, 3.5), Speed: 20},
+			},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTracks()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("tracks = %d", len(got))
+	}
+	if got[1].Class != mobility.Bus {
+		t.Fatal("bus class lost in round trip")
+	}
+	if got[0].Class != mobility.Car {
+		t.Fatal("car class lost in round trip")
+	}
+	for ti, tr := range got {
+		want := sampleTracks()[ti]
+		if len(tr.Waypoints) != len(want.Waypoints) {
+			t.Fatalf("track %d waypoints = %d", ti, len(tr.Waypoints))
+		}
+		for wi, wp := range tr.Waypoints {
+			w := want.Waypoints[wi]
+			if math.Abs(wp.Pos.X-w.Pos.X) > 0.01 || math.Abs(wp.Pos.Y-w.Pos.Y) > 0.01 {
+				t.Errorf("track %d wp %d pos = %v, want %v", ti, wi, wp.Pos, w.Pos)
+			}
+			if math.Abs(wp.Speed-w.Speed) > 0.01 {
+				t.Errorf("track %d wp %d speed = %v, want %v", ti, wi, wp.Speed, w.Speed)
+			}
+			if wp.T != w.T {
+				t.Errorf("track %d wp %d t = %v, want %v", ti, wi, wp.T, w.T)
+			}
+		}
+	}
+}
+
+func TestWriteFormatLooksLikeSUMO(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTracks()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<fcd-export>", `<timestep time="0.00">`, `<vehicle id="veh0"`, `type="bus"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"not-xml":   "hello",
+		"bad-time":  `<fcd-export><timestep time="zzz"/></fcd-export>`,
+		"bad-x":     `<fcd-export><timestep time="0"><vehicle id="a" x="?" y="0" speed="0"/></timestep></fcd-export>`,
+		"bad-y":     `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="?" speed="0"/></timestep></fcd-export>`,
+		"bad-speed": `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="0" speed="?"/></timestep></fcd-export>`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(doc)); err == nil {
+				t.Error("malformed document accepted")
+			}
+		})
+	}
+}
+
+func TestReadArbitraryVehicleIDs(t *testing.T) {
+	doc := `<fcd-export>
+	<timestep time="0.0">
+		<vehicle id="flow0.23" x="1" y="2" speed="3"/>
+		<vehicle id="bus_7" x="4" y="5" speed="6" type="bus"/>
+	</timestep>
+	<timestep time="1.0">
+		<vehicle id="flow0.23" x="2" y="2" speed="3"/>
+	</timestep>
+</fcd-export>`
+	tracks, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d", len(tracks))
+	}
+	if len(tracks[0].Waypoints) != 2 || len(tracks[1].Waypoints) != 1 {
+		t.Fatalf("waypoint counts = %d/%d", len(tracks[0].Waypoints), len(tracks[1].Waypoints))
+	}
+	if tracks[1].Class != mobility.Bus {
+		t.Fatal("bus type not mapped")
+	}
+}
+
+func TestRoundTripThroughPlayback(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTracks()); err != nil {
+		t.Fatal(err)
+	}
+	tracks, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := mobility.NewPlayback(tracks)
+	pb.Advance(0.5)
+	s := pb.States()
+	if len(s) != 2 {
+		t.Fatalf("states = %d", len(s))
+	}
+	if math.Abs(s[0].Pos.X-5.25) > 0.01 {
+		t.Fatalf("interpolated playback pos = %v", s[0].Pos)
+	}
+}

@@ -1,0 +1,148 @@
+// Package relroute is a reliable-routing toolkit for vehicular ad hoc
+// networks (VANETs), reproducing "Reliable Routing in Vehicular Ad hoc
+// Networks" (Yan, Mitton, Li — WWASN/ICDCS-W 2010) as a runnable system:
+// a discrete-event VANET simulator (IDM mobility over road networks,
+// log-normal shadowing radio, CSMA MAC) and implementations of
+// representative routing protocols from all five categories of the
+// paper's taxonomy — connectivity-, mobility-, infrastructure-,
+// geographic-location-, and probability-model-based — including the
+// authors' ticket-based stability-probing protocol (TBP-SS).
+//
+// Quickstart:
+//
+//	sum, err := relroute.Run("TBP-SS", relroute.Options{
+//		Seed: 1, Vehicles: 60, Duration: 60,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(sum) // PDR, delay, overhead, ...
+//
+// Every figure and table of the paper maps to an experiment that can be
+// regenerated programmatically:
+//
+//	tab, err := relroute.RunExperiment("table1", relroute.ExperimentConfig{})
+//	fmt.Print(tab)
+//
+// or from the command line via cmd/vanetbench.
+package relroute
+
+import (
+	"fmt"
+
+	"github.com/vanetlab/relroute/internal/core"
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/harness"
+	"github.com/vanetlab/relroute/internal/link"
+	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/scenario"
+)
+
+// Options parameterises a simulation run; see scenario.Options for the
+// field-by-field documentation. The zero value is a 60-vehicle, 2 km
+// highway with four CBR flows for 60 simulated seconds.
+type Options = scenario.Options
+
+// Summary is the metrics snapshot of one run: PDR, delays, hop counts,
+// control overhead, collision rate, and route-maintenance counters.
+type Summary = metrics.Summary
+
+// ExperimentConfig configures a paper-experiment run. Quick mode shrinks
+// populations and durations for CI.
+type ExperimentConfig = harness.Config
+
+// Experiment is one reproducible paper artifact (figure or table).
+type Experiment = harness.Experiment
+
+// Table is the rendered result of an experiment.
+type Table = harness.Table
+
+// TaxonomyEntry is one protocol of the paper's Fig. 1 catalogue.
+type TaxonomyEntry = core.Entry
+
+// Category is one of the five routing classes of the taxonomy.
+type Category = core.Category
+
+// Taxonomy classes, re-exported from the core package.
+const (
+	Connectivity   = core.Connectivity
+	Mobility       = core.Mobility
+	Infrastructure = core.Infrastructure
+	Geographic     = core.Geographic
+	Probability    = core.Probability
+)
+
+// Kind selects the world topology of a run.
+type Kind = scenario.Kind
+
+// Topology kinds, re-exported from the scenario package.
+const (
+	HighwayKind = scenario.HighwayKind
+	CityKind    = scenario.CityKind
+	RingKind    = scenario.RingKind
+)
+
+// Protocols returns the names accepted by Run: at least two protocols per
+// taxonomy category.
+func Protocols() []string { return scenario.Protocols() }
+
+// Run builds and executes one simulation of the named protocol.
+func Run(protocol string, opts Options) (Summary, error) {
+	return scenario.RunProtocol(protocol, opts)
+}
+
+// Experiments lists every reproducible figure/table experiment.
+func Experiments() []Experiment { return harness.All() }
+
+// RunExperiment regenerates one paper artifact by ID (fig1..fig6, table1,
+// abl-*).
+func RunExperiment(id string, cfg ExperimentConfig) (*Table, error) {
+	exp, ok := harness.ByID(id)
+	if !ok {
+		ids := make([]string, 0)
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+		return nil, fmt.Errorf("relroute: unknown experiment %q (known: %v)", id, ids)
+	}
+	return exp.Run(cfg)
+}
+
+// Taxonomy returns the paper's Fig. 1 protocol catalogue with
+// implementation pointers.
+func Taxonomy() []TaxonomyEntry { return core.Taxonomy() }
+
+// LinkLifetime solves the paper's Eqn (4) for two vehicles with constant
+// planar velocities: the time until their distance reaches the
+// communication range r. It returns relroute.Forever for links that never
+// break under the model.
+func LinkLifetime(posA, velA, posB, velB Vec2, r float64) float64 {
+	return link.LifetimeVec(posA, velA, posB, velB, r)
+}
+
+// Forever is the lifetime of a link that never breaks under the model.
+const Forever = link.Forever
+
+// Vec2 is a position (meters) or velocity (m/s) in the simulation plane.
+type Vec2 = geom.Vec2
+
+// V constructs a Vec2.
+func V(x, y float64) Vec2 { return geom.V(x, y) }
+
+// PathLifetime composes per-link lifetimes with the paper's rule: the
+// lifetime of a routing path is the minimum over its links.
+func PathLifetime(links []float64) float64 { return link.PathLifetime(links) }
+
+// LinkStability computes the probability-model stability metric (expected
+// or mean link duration) behind TBP-SS; see core.LinkStability.
+func LinkStability(m core.Metric, params core.StabilityParams, posA, velA, posB, velB Vec2, r float64) float64 {
+	return core.LinkStability(m, params, posA, velA, posB, velB, r)
+}
+
+// Stability metric selectors, re-exported from the core package.
+const (
+	MetricExpectedDuration = core.MetricExpectedDuration
+	MetricMeanDuration     = core.MetricMeanDuration
+	MetricDeterministic    = core.MetricDeterministic
+)
+
+// StabilityParams configures the probability model behind LinkStability.
+type StabilityParams = core.StabilityParams
