@@ -1,5 +1,6 @@
 // Command vanetbench regenerates the paper's figures and table as
-// plain-text experiment reports.
+// plain-text experiment reports, and sweeps protocol grids with cross-seed
+// aggregation.
 //
 // Usage:
 //
@@ -7,18 +8,32 @@
 //	vanetbench -exp fig5        # one experiment
 //	vanetbench -list            # list experiment IDs
 //	vanetbench -quick           # smaller populations / shorter runs
+//	vanetbench -parallel 8      # bound the simulation worker pool
+//
+//	vanetbench sweep -protocols Greedy,TBP-SS -vehicles 20,60 -seeds 5
+//	                            # protocol × density × seed grid with
+//	                            # mean ± 95% CI per cell
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/vanetlab/relroute"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "sweep" {
+		err = runSweep(args[1:])
+	} else {
+		err = run(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vanetbench:", err)
 		os.Exit(1)
 	}
@@ -27,10 +42,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vanetbench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "all", "experiment ID or \"all\"")
-		list  = fs.Bool("list", false, "list experiments and exit")
-		seed  = fs.Int64("seed", 1, "random seed")
-		quick = fs.Bool("quick", false, "reduced populations and durations")
+		exp      = fs.String("exp", "all", "experiment ID or \"all\"")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		seed     = fs.Int64("seed", 1, "random seed")
+		quick    = fs.Bool("quick", false, "reduced populations and durations")
+		parallel = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,7 +57,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick}
+	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel}
 	if *exp != "all" {
 		tab, err := relroute.RunExperiment(*exp, cfg)
 		if err != nil {
@@ -58,4 +74,120 @@ func run(args []string) error {
 		tab.Render(os.Stdout)
 	}
 	return nil
+}
+
+// runSweep executes a protocol × vehicles × seed grid on the batch runner
+// and renders one row per (protocol, density) cell, aggregated across
+// seeds as mean ± 95% CI.
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("vanetbench sweep", flag.ContinueOnError)
+	var (
+		protocols = fs.String("protocols", "Greedy,TBP-SS", "comma-separated protocol names")
+		vehicles  = fs.String("vehicles", "20,60,100", "comma-separated vehicle counts")
+		seeds     = fs.Int("seeds", 3, "replication seeds per cell")
+		seed0     = fs.Int64("seed", 1, "first replication seed")
+		duration  = fs.Float64("duration", 30, "simulated seconds per run")
+		length    = fs.Float64("length", 2000, "highway length in meters")
+		speed     = fs.Float64("speed", 30, "mean vehicle speed in m/s")
+		parallel  = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	protos := splitList(*protocols)
+	counts, err := splitInts(*vehicles)
+	if err != nil {
+		return fmt.Errorf("sweep: -vehicles: %w", err)
+	}
+	if len(protos) == 0 || len(counts) == 0 || *seeds < 1 {
+		return fmt.Errorf("sweep: need at least one protocol, one vehicle count, and one seed")
+	}
+	for _, v := range counts {
+		// reject rather than let scenario defaults silently relabel the row
+		if v < 2 {
+			return fmt.Errorf("sweep: -vehicles: count %d below the 2 needed for a flow", v)
+		}
+	}
+
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed0 + int64(i)
+	}
+	// one spec per protocol so infrastructure options (RSUs for DRR, ferry
+	// buses for Bus) apply only to the protocol that uses them and don't
+	// perturb the other protocols' worlds
+	var camp relroute.Campaign
+	for _, proto := range protos {
+		grid := make([]relroute.Options, 0, len(counts))
+		for _, v := range counts {
+			opts := relroute.Options{
+				Vehicles: v, HighwayLength: *length,
+				SpeedMean: *speed, Duration: *duration,
+			}
+			if proto == "Bus" {
+				opts.Buses = 2 // the ferry protocol needs ≥1 bus; DRR's RSU default is built in
+			}
+			grid = append(grid, opts)
+		}
+		camp.AddSpec(relroute.BatchSpec{Protocols: []string{proto}, Grid: grid, Seeds: seedList})
+	}
+	results := relroute.RunBatch(camp, *parallel)
+
+	tab := &relroute.Table{
+		ID:    "sweep",
+		Title: fmt.Sprintf("protocol × density sweep (%d seeds, mean ± 95%% CI)", *seeds),
+		Columns: []string{
+			"protocol", "vehicles", "PDR", "delay(s)", "overhead", "breaks",
+		},
+	}
+	for _, block := range relroute.Replications(results, *seeds) {
+		sums, err := relroute.Summaries(block)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		agg := relroute.AggregateSummaries(sums)
+		cell := block[0].Run
+		tab.AddRow(
+			cell.Protocol,
+			strconv.Itoa(cell.Opts.Vehicles),
+			fmtCI(agg.PDR, true),
+			fmtCI(agg.MeanDelay, false),
+			fmtCI(agg.Overhead, false),
+			fmtCI(agg.Breaks, false),
+		)
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("seeds %d..%d; %g s per run on a %g m highway at %g m/s mean speed",
+			*seed0, *seed0+int64(*seeds)-1, *duration, *length, *speed))
+	tab.Render(os.Stdout)
+	return nil
+}
+
+func fmtCI(s relroute.Stat, pct bool) string {
+	if pct {
+		return fmt.Sprintf("%.1f%%±%.1f", s.Mean*100, s.CI95*100)
+	}
+	return fmt.Sprintf("%.2f±%.2f", s.Mean, s.CI95)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

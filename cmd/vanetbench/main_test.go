@@ -25,3 +25,28 @@ func TestRunQuickFigure(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunParallelExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig2", "-quick", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	err := runSweep([]string{
+		"-protocols", "Greedy", "-vehicles", "15,25", "-seeds", "2",
+		"-duration", "12",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRejectsBadGrid(t *testing.T) {
+	if err := runSweep([]string{"-vehicles", "ten"}); err == nil {
+		t.Fatal("non-numeric vehicle list accepted")
+	}
+	if err := runSweep([]string{"-protocols", ""}); err == nil {
+		t.Fatal("empty protocol list accepted")
+	}
+}

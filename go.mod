@@ -1,0 +1,3 @@
+module github.com/vanetlab/relroute
+
+go 1.24

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"github.com/vanetlab/relroute/internal/runner"
 	"github.com/vanetlab/relroute/internal/scenario"
 )
 
@@ -22,19 +23,23 @@ func AblationBroadcastStorm(cfg Config) (*Table, error) {
 		Title:   "broadcast storm: flooding vs node count",
 		Columns: []string{"vehicles", "PDR", "MAC transmits", "tx per delivered", "dup ratio", "collision rate"},
 	}
+	grid := make([]scenario.Options, 0, len(densities))
 	for _, v := range densities {
-		sum, err := scenario.RunProtocol("Flooding", scenario.Options{
+		grid = append(grid, scenario.Options{
 			Seed: cfg.seed(), Vehicles: v, HighwayLength: 1500,
 			Duration: duration, Flows: 3, FlowPackets: 10,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	sums, err := cfg.submit(runner.New(runner.Spec{Protocols: []string{"Flooding"}, Grid: grid}))
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
 		perDelivered := float64(sum.MACTransmits)
 		if sum.DataDelivered > 0 {
 			perDelivered /= float64(sum.DataDelivered)
 		}
-		t.AddRow(fmt.Sprint(v), fmtPct(sum.PDR), fmt.Sprint(sum.MACTransmits),
+		t.AddRow(fmt.Sprint(densities[i]), fmtPct(sum.PDR), fmt.Sprint(sum.MACTransmits),
 			fmtF(perDelivered), fmtF(sum.DupRatio), fmtPct(sum.CollisionRate))
 	}
 	t.Notes = append(t.Notes, "transmissions per delivered packet grow superlinearly with density — the broadcast storm [5]")
@@ -50,12 +55,17 @@ func AblationMobilityRegimes(cfg Config) (*Table, error) {
 		Title:   "PBR (mobility prediction) across traffic regimes",
 		Columns: []string{"regime", "PDR", "delay(s)", "discoveries", "breaks", "path lifetime(s)"},
 	}
-	for _, rg := range regimes(cfg) {
-		sum, err := scenario.RunProtocol("PBR", rg.opts)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(rg.name, fmtPct(sum.PDR), fmtF(sum.MeanDelay),
+	rgs := regimes(cfg)
+	grid := make([]scenario.Options, 0, len(rgs))
+	for _, rg := range rgs {
+		grid = append(grid, rg.opts)
+	}
+	sums, err := cfg.submit(runner.New(runner.Spec{Protocols: []string{"PBR"}, Grid: grid}))
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
+		t.AddRow(rgs[i].name, fmtPct(sum.PDR), fmtF(sum.MeanDelay),
 			fmt.Sprint(sum.Discoveries), fmt.Sprint(sum.Breaks), fmtF(sum.PathLifetime))
 	}
 	t.Notes = append(t.Notes,
@@ -79,19 +89,22 @@ func AblationPathLifetime(cfg Config) (*Table, error) {
 		Title:   "lifetime-aware routing vs speed",
 		Columns: []string{"protocol", "speed(m/s)", "PDR", "breaks", "discoveries", "repairs"},
 	}
-	for _, proto := range []string{"AODV", "PBR", "TBP-SS"} {
-		for _, sp := range speeds {
-			sum, err := scenario.RunProtocol(proto, scenario.Options{
-				Seed: cfg.seed(), Vehicles: 60, HighwayLength: 2000,
-				SpeedMean: sp, SpeedStd: sp / 4, Duration: duration,
-				Flows: 4, FlowPackets: 15,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(proto, fmtF(sp), fmtPct(sum.PDR),
-				fmt.Sprint(sum.Breaks), fmt.Sprint(sum.Discoveries), fmt.Sprint(sum.Repairs))
-		}
+	protos := []string{"AODV", "PBR", "TBP-SS"}
+	grid := make([]scenario.Options, 0, len(speeds))
+	for _, sp := range speeds {
+		grid = append(grid, scenario.Options{
+			Seed: cfg.seed(), Vehicles: 60, HighwayLength: 2000,
+			SpeedMean: sp, SpeedStd: sp / 4, Duration: duration,
+			Flows: 4, FlowPackets: 15,
+		})
+	}
+	sums, err := cfg.submit(runner.New(runner.Spec{Protocols: protos, Grid: grid}))
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
+		t.AddRow(protos[i/len(speeds)], fmtF(speeds[i%len(speeds)]), fmtPct(sum.PDR),
+			fmt.Sprint(sum.Breaks), fmt.Sprint(sum.Discoveries), fmt.Sprint(sum.Repairs))
 	}
 	t.Notes = append(t.Notes,
 		"as speed rises, AODV's breaks climb while the lifetime-aware protocols trade extra discoveries/repairs for sustained PDR")
@@ -117,19 +130,22 @@ func AblationProbVsGeo(cfg Config) (*Table, error) {
 		Title:   "probability vs geographic routing under speed heterogeneity",
 		Columns: []string{"protocol", "traffic", "PDR", "delay(s)", "overhead", "breaks"},
 	}
-	for _, proto := range []string{"Greedy", "TBP-SS"} {
-		for _, c := range conds {
-			sum, err := scenario.RunProtocol(proto, scenario.Options{
-				Seed: cfg.seed(), Vehicles: 70, HighwayLength: 2000,
-				SpeedMean: 28, SpeedStd: c.speedStd, Duration: duration,
-				Flows: 4, FlowPackets: 15,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(proto, c.name, fmtPct(sum.PDR), fmtF(sum.MeanDelay),
-				fmtF(sum.Overhead), fmt.Sprint(sum.Breaks))
-		}
+	protos := []string{"Greedy", "TBP-SS"}
+	grid := make([]scenario.Options, 0, len(conds))
+	for _, c := range conds {
+		grid = append(grid, scenario.Options{
+			Seed: cfg.seed(), Vehicles: 70, HighwayLength: 2000,
+			SpeedMean: 28, SpeedStd: c.speedStd, Duration: duration,
+			Flows: 4, FlowPackets: 15,
+		})
+	}
+	sums, err := cfg.submit(runner.New(runner.Spec{Protocols: protos, Grid: grid}))
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
+		t.AddRow(protos[i/len(conds)], conds[i%len(conds)].name, fmtPct(sum.PDR), fmtF(sum.MeanDelay),
+			fmtF(sum.Overhead), fmt.Sprint(sum.Breaks))
 	}
 	t.Notes = append(t.Notes,
 		"with homogeneous speeds, geography is near-optimal; heterogeneity makes greedy's shortest links churn while stability-probing holds its paths")
@@ -151,16 +167,20 @@ func AblationTickets(cfg Config) (*Table, error) {
 		Title:   "TBP-SS ticket budget trade-off",
 		Columns: []string{"tickets", "PDR", "probes sent", "overhead", "path lifetime(s)"},
 	}
+	grid := make([]scenario.Options, 0, len(budgets))
 	for _, l := range budgets {
-		sum, err := scenario.RunProtocol("TBP-SS", scenario.Options{
+		grid = append(grid, scenario.Options{
 			Seed: cfg.seed(), Vehicles: 70, HighwayLength: 2000,
 			Duration: duration, Flows: 4, FlowPackets: 15,
 			TicketBudget: l,
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(l), fmtPct(sum.PDR), fmt.Sprint(sum.ControlTotal),
+	}
+	sums, err := cfg.submit(runner.New(runner.Spec{Protocols: []string{"TBP-SS"}, Grid: grid}))
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
+		t.AddRow(fmt.Sprint(budgets[i]), fmtPct(sum.PDR), fmt.Sprint(sum.ControlTotal),
 			fmtF(sum.Overhead), fmtF(sum.PathLifetime))
 	}
 	t.Notes = append(t.Notes,

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"github.com/vanetlab/relroute/internal/runner"
 	"github.com/vanetlab/relroute/internal/scenario"
 )
 
@@ -21,16 +22,20 @@ func AblationHybrid(cfg Config) (*Table, error) {
 		Title:   "hybrid probability+mobility routing under changing motion",
 		Columns: []string{"protocol", "PDR", "delay(s)", "overhead", "breaks", "repairs"},
 	}
-	for _, proto := range []string{"PBR", "TBP-SS", "Hybrid"} {
-		sum, err := scenario.RunProtocol(proto, scenario.Options{
+	protos := []string{"PBR", "TBP-SS", "Hybrid"}
+	sums, err := cfg.submit(runner.New(runner.Spec{
+		Protocols: protos,
+		Grid: []scenario.Options{{
 			Seed: cfg.seed(), Vehicles: 70, HighwayLength: 2000,
 			SpeedMean: 28, SpeedStd: 10, // strongly heterogeneous motion
 			Duration: duration, Flows: 4, FlowPackets: 15,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(proto, fmtPct(sum.PDR), fmtF(sum.MeanDelay), fmtF(sum.Overhead),
+		}},
+	}))
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
+		t.AddRow(protos[i], fmtPct(sum.PDR), fmtF(sum.MeanDelay), fmtF(sum.Overhead),
 			fmt.Sprint(sum.Breaks), fmt.Sprint(sum.Repairs))
 	}
 	t.Notes = append(t.Notes,
@@ -64,49 +69,36 @@ func AblationDisaster(cfg Config) (*Table, error) {
 		FlowInterval: (duration - 15) / float64(packets),
 		RSUs:         3,
 	}
-	// healthy infrastructure
-	healthy, err := scenario.RunProtocol("DRR", base)
-	if err != nil {
-		return nil, err
+	// disaster run: RSUs die at half time, injected post-build
+	destroyRSUs := func(sc *scenario.Scenario) {
+		rsus := sc.RSUs
+		world := sc.World
+		world.Engine().At(duration/2, func() {
+			for _, id := range rsus {
+				world.SetNodeActive(id, false)
+			}
+		})
 	}
-	t.AddRow("DRR, RSUs healthy", fmtPct(healthy.PDR),
-		fmt.Sprintf("%d/%d", healthy.DataDelivered, healthy.DataSent))
-	// disaster: RSUs die at half time
-	sc, err := scenario.Build("DRR", base)
-	if err != nil {
-		return nil, err
-	}
-	rsus := sc.RSUs
-	world := sc.World
-	world.Engine().At(duration/2, func() {
-		for _, id := range rsus {
-			world.SetNodeActive(id, false)
-		}
-	})
-	damaged, err := sc.Run()
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("DRR, RSUs destroyed at t/2", fmtPct(damaged.PDR),
-		fmt.Sprintf("%d/%d", damaged.DataDelivered, damaged.DataSent))
-	// ferry and V2V references, immune to the infrastructure loss
 	busOpts := base
 	busOpts.RSUs = 0
 	busOpts.Buses = 2
-	bus, err := scenario.RunProtocol("Bus", busOpts)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("Bus ferries (no RSUs)", fmtPct(bus.PDR),
-		fmt.Sprintf("%d/%d", bus.DataDelivered, bus.DataSent))
 	v2vOpts := base
 	v2vOpts.RSUs = 0
-	v2v, err := scenario.RunProtocol("Greedy", v2vOpts)
+	var camp runner.Campaign
+	camp.Add(
+		runner.Run{Label: "DRR, RSUs healthy", Protocol: "DRR", Opts: base},
+		runner.Run{Label: "DRR, RSUs destroyed at t/2", Protocol: "DRR", Opts: base, Setup: destroyRSUs},
+		runner.Run{Label: "Bus ferries (no RSUs)", Protocol: "Bus", Opts: busOpts},
+		runner.Run{Label: "Greedy V2V (no RSUs)", Protocol: "Greedy", Opts: v2vOpts},
+	)
+	sums, err := cfg.submit(camp)
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("Greedy V2V (no RSUs)", fmtPct(v2v.PDR),
-		fmt.Sprintf("%d/%d", v2v.DataDelivered, v2v.DataSent))
+	for i, sum := range sums {
+		t.AddRow(camp.Runs[i].Label, fmtPct(sum.PDR),
+			fmt.Sprintf("%d/%d", sum.DataDelivered, sum.DataSent))
+	}
 	t.Notes = append(t.Notes,
 		"the damaged-infrastructure PDR must land between healthy DRR and pure V2V — Table I row 3's availability caveat, measured")
 	return t, nil

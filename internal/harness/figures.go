@@ -10,6 +10,7 @@ import (
 	"github.com/vanetlab/relroute/internal/mobility"
 	"github.com/vanetlab/relroute/internal/netstack"
 	"github.com/vanetlab/relroute/internal/roadnet"
+	"github.com/vanetlab/relroute/internal/runner"
 	"github.com/vanetlab/relroute/internal/scenario"
 )
 
@@ -54,26 +55,25 @@ func Fig2Discovery(cfg Config) (*Table, error) {
 		Title:   "AODV discovery + short flow (per-seed runs)",
 		Columns: []string{"seed", "delivered/sent", "PDR", "discoveries", "RREQ tx", "RREP tx", "mean hops", "delay(s)"},
 	}
-	totalDelivered := 0
-	for _, seed := range seeds {
-		sc, err := scenario.Build("AODV", scenario.Options{
-			Seed: seed, Vehicles: vehicles,
+	sums, err := cfg.submit(runner.New(runner.Spec{
+		Protocols: []string{"AODV"},
+		Grid: []scenario.Options{{
+			Vehicles:      vehicles,
 			HighwayLength: 1200, SpeedStd: 2,
 			Flows: 2, FlowPackets: 5, Duration: 20,
-		})
-		if err != nil {
-			return nil, err
-		}
-		sum, err := sc.Run()
-		if err != nil {
-			return nil, err
-		}
-		ctl := sc.World.Collector().Control
+		}},
+		Seeds: seeds,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	totalDelivered := 0
+	for i, sum := range sums {
 		totalDelivered += sum.DataDelivered
-		t.AddRow(fmt.Sprint(seed),
+		t.AddRow(fmt.Sprint(seeds[i]),
 			fmt.Sprintf("%d/%d", sum.DataDelivered, sum.DataSent),
 			fmtPct(sum.PDR), fmt.Sprint(sum.Discoveries),
-			fmt.Sprint(ctl[netstack.KindRREQ]), fmt.Sprint(ctl[netstack.KindRREP]),
+			fmt.Sprint(sum.Control[netstack.KindRREQ]), fmt.Sprint(sum.Control[netstack.KindRREP]),
 			fmtF(sum.MeanHops), fmtF(sum.MeanDelay))
 	}
 	t.Notes = append(t.Notes,
@@ -234,24 +234,31 @@ func Fig5RSU(cfg Config) (*Table, error) {
 		Title:   "PDR vs density with road-side units (DRR protocol)",
 		Columns: []string{"vehicles", "RSUs", "PDR", "mean delay (s)", "delivered/sent"},
 	}
+	type point struct{ vehicles, rsus int }
+	var points []point
+	var grid []scenario.Options
 	for _, v := range densities {
 		for _, n := range rsus {
 			rsuOpt := n
 			if rsuOpt == 0 {
 				rsuOpt = -1 // explicitly none: the Fig. 5 baseline
 			}
-			sum, err := scenario.RunProtocol("DRR", scenario.Options{
+			points = append(points, point{v, n})
+			grid = append(grid, scenario.Options{
 				Seed: cfg.seed(), Vehicles: v, RSUs: rsuOpt,
 				HighwayLength: 3000, Duration: duration,
 				Flows: 4, FlowPackets: 20,
 			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprint(v), fmt.Sprint(n),
-				fmtPct(sum.PDR), fmtF(sum.MeanDelay),
-				fmt.Sprintf("%d/%d", sum.DataDelivered, sum.DataSent))
 		}
+	}
+	sums, err := cfg.submit(runner.New(runner.Spec{Protocols: []string{"DRR"}, Grid: grid}))
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
+		t.AddRow(fmt.Sprint(points[i].vehicles), fmt.Sprint(points[i].rsus),
+			fmtPct(sum.PDR), fmtF(sum.MeanDelay),
+			fmt.Sprintf("%d/%d", sum.DataDelivered, sum.DataSent))
 	}
 	t.Notes = append(t.Notes,
 		"at low density the V2V path rarely exists; RSUs relay/buffer over the backbone (VEN), lifting PDR — Fig. 5's promise. The gain shrinks as density grows")
@@ -274,27 +281,26 @@ func Fig6Zones(cfg Config) (*Table, error) {
 		Title:   "duplicate suppression: flooding vs zone vs gateway",
 		Columns: []string{"protocol", "PDR", "data transmits", "tx per delivered", "collision rate"},
 	}
-	for _, proto := range []string{"Flooding", "Zone", "LORA-DCBF"} {
-		sc, err := scenario.Build(proto, scenario.Options{
+	protos := []string{"Flooding", "Zone", "LORA-DCBF"}
+	sums, err := cfg.submit(runner.New(runner.Spec{
+		Protocols: protos,
+		Grid: []scenario.Options{{
 			Seed: cfg.seed(), Vehicles: vehicles,
 			HighwayLength: 1500, Duration: duration,
 			Flows: 4, FlowPackets: 15,
-		})
-		if err != nil {
-			return nil, err
-		}
-		sum, err := sc.Run()
-		if err != nil {
-			return nil, err
-		}
+		}},
+	}))
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
 		// beacons are substrate, not dissemination cost: compare the
 		// data-plane transmissions only
-		dataTx := sc.World.Collector().DataForwarded
-		perDelivered := float64(dataTx)
+		perDelivered := float64(sum.DataForwarded)
 		if sum.DataDelivered > 0 {
 			perDelivered /= float64(sum.DataDelivered)
 		}
-		t.AddRow(proto, fmtPct(sum.PDR), fmt.Sprint(dataTx),
+		t.AddRow(protos[i], fmtPct(sum.PDR), fmt.Sprint(sum.DataForwarded),
 			fmtF(perDelivered), fmtPct(sum.CollisionRate))
 	}
 	t.Notes = append(t.Notes,

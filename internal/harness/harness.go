@@ -1,8 +1,8 @@
 // Package harness defines the reproduction experiments: one per figure and
 // table of the paper, plus the ablations supporting Table I's qualitative
-// claims. Each experiment assembles scenarios, runs them, and renders a
-// plain-text table whose rows are the series a plot of the corresponding
-// figure would show.
+// claims. Each experiment declares its scenario grid as data, submits it to
+// the runner's worker pool, and renders a plain-text table whose rows are
+// the series a plot of the corresponding figure would show.
 package harness
 
 import (
@@ -10,6 +10,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/runner"
 )
 
 // Config parameterises an experiment run.
@@ -19,6 +22,10 @@ type Config struct {
 	// Quick shrinks durations and populations for CI-speed runs; the
 	// shapes still hold but confidence intervals widen.
 	Quick bool
+	// Workers bounds the simulation worker pool; <= 0 means GOMAXPROCS.
+	// Tables are byte-identical for any worker count: the runner returns
+	// results in submission order and each run is seeded independently.
+	Workers int
 }
 
 func (c Config) seed() int64 {
@@ -26,6 +33,12 @@ func (c Config) seed() int64 {
 		return 1
 	}
 	return c.Seed
+}
+
+// submit executes a campaign on the config's worker pool and unwraps the
+// summaries in submission order.
+func (c Config) submit(camp runner.Campaign) ([]metrics.Summary, error) {
+	return runner.Summaries(runner.Execute(camp, c.Workers))
 }
 
 // Table is the render unit: experiment output as labelled rows.

@@ -203,6 +203,36 @@ func TestAblationDisasterDegradesGracefully(t *testing.T) {
 	}
 }
 
+// TestParallelTablesByteIdentical is the harness half of the determinism
+// contract: for a fixed seed, an experiment renders byte-identical tables
+// whether the runner pool uses one worker or many. It exercises a seed
+// grid (fig2), a protocol × options grid (fig6), and an explicit labelled
+// campaign with a post-build hook (abl-disaster).
+func TestParallelTablesByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig2", "fig6", "abl-disaster"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			exp, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			seq, err := exp.Run(Config{Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := exp.Run(Config{Quick: true, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.String() != par.String() {
+				t.Fatalf("worker count changed rendered table:\n--- workers=1 ---\n%s--- workers=8 ---\n%s",
+					seq.String(), par.String())
+			}
+		})
+	}
+}
+
 func rowMap(t *Table) map[string]string {
 	out := map[string]string{}
 	for _, row := range t.Rows {

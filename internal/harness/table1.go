@@ -3,7 +3,7 @@ package harness
 import (
 	"fmt"
 
-	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/runner"
 	"github.com/vanetlab/relroute/internal/scenario"
 )
 
@@ -75,20 +75,30 @@ func Table1Summary(cfg Config) (*Table, error) {
 			"overhead", "collisions", "breaks",
 		},
 	}
+	// declare the full representative × regime grid as labelled runs
+	type cell struct{ category, regime string }
+	var cells []cell
+	var camp runner.Campaign
+	rgs := regimes(cfg)
 	for _, rep := range representatives() {
-		for _, rg := range regimes(cfg) {
+		for _, rg := range rgs {
 			opts := rg.opts
 			if rep.protocol == "DRR" {
 				opts.RSUs = 3
 			}
-			sum, err := scenario.RunProtocol(rep.protocol, opts)
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s/%s: %w", rep.protocol, rg.name, err)
-			}
-			t.AddRow(rep.category, rep.protocol, rg.name,
-				fmtPct(sum.PDR), fmtF(sum.MeanDelay), fmtF(sum.Overhead),
-				fmtPct(sum.CollisionRate), fmt.Sprint(sum.Breaks))
+			cells = append(cells, cell{rep.category, rg.name})
+			camp.Add(runner.Run{Protocol: rep.protocol, Opts: opts})
 		}
+	}
+	results := runner.Execute(camp, cfg.Workers)
+	for i, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("table1 %s/%s: %w", camp.Runs[i].Protocol, cells[i].regime, res.Err)
+		}
+		sum := res.Summary
+		t.AddRow(cells[i].category, camp.Runs[i].Protocol, cells[i].regime,
+			fmtPct(sum.PDR), fmtF(sum.MeanDelay), fmtF(sum.Overhead),
+			fmtPct(sum.CollisionRate), fmt.Sprint(sum.Breaks))
 	}
 	t.Notes = append(t.Notes,
 		"Table I row 1 (connectivity): simple but overhead/broadcast storm — see collisions grow with density",
@@ -98,18 +108,4 @@ func Table1Summary(cfg Config) (*Table, error) {
 		"Table I row 5 (probability): efficient (low overhead per delivery) but tuned to a traffic model",
 	)
 	return t, nil
-}
-
-// summarizeRuns is a helper for ablations: run one protocol over many
-// option sets and return the summaries.
-func summarizeRuns(protocol string, optsList []scenario.Options) ([]metrics.Summary, error) {
-	out := make([]metrics.Summary, 0, len(optsList))
-	for _, o := range optsList {
-		s, err := scenario.RunProtocol(protocol, o)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	return out, nil
 }

@@ -1,0 +1,114 @@
+package metrics
+
+import "math"
+
+// Stat summarises one metric across replications: sample mean, sample
+// standard deviation, and the half-width of the 95% confidence interval,
+// t(0.975, n−1)·σ/√n, using the Student-t quantile so small seed counts
+// get honestly wide intervals. N below 2 leaves Std and CI95 at zero.
+type Stat struct {
+	Mean float64
+	Std  float64
+	CI95 float64
+	N    int
+}
+
+// tQuantile975 holds t(0.975, df) for df 1..30; larger df use the normal
+// approximation 1.96.
+var tQuantile975 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tQuantile(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tQuantile975) {
+		return tQuantile975[df-1]
+	}
+	return 1.96
+}
+
+// NewStat computes the statistics of one sample set.
+func NewStat(xs []float64) Stat {
+	n := len(xs)
+	if n == 0 {
+		return Stat{}
+	}
+	s := Stat{Mean: mean(xs), N: n}
+	if n < 2 {
+		return s
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(n-1))
+	s.CI95 = tQuantile(n-1) * s.Std / math.Sqrt(float64(n))
+	return s
+}
+
+// Aggregate holds cross-replication statistics over every numeric Summary
+// field, labelled with the protocol and scenario of the first replication.
+type Aggregate struct {
+	Protocol string
+	Scenario string
+	N        int
+
+	PDR           Stat
+	MeanDelay     Stat
+	P95Delay      Stat
+	MeanHops      Stat
+	Overhead      Stat
+	DupRatio      Stat
+	CollisionRate Stat
+	PathLifetime  Stat
+	Discoveries   Stat
+	Breaks        Stat
+	Repairs       Stat
+	DataSent      Stat
+	DataDelivered Stat
+	DataForwarded Stat
+	MACTransmits  Stat
+	ControlTotal  Stat
+}
+
+// AggregateSummaries folds per-seed summaries (typically one per
+// replication seed of the same scenario grid point) into cross-seed
+// statistics. An empty input returns the zero Aggregate.
+func AggregateSummaries(sums []Summary) Aggregate {
+	if len(sums) == 0 {
+		return Aggregate{}
+	}
+	col := func(f func(Summary) float64) Stat {
+		xs := make([]float64, len(sums))
+		for i, s := range sums {
+			xs[i] = f(s)
+		}
+		return NewStat(xs)
+	}
+	return Aggregate{
+		Protocol:      sums[0].Protocol,
+		Scenario:      sums[0].Scenario,
+		N:             len(sums),
+		PDR:           col(func(s Summary) float64 { return s.PDR }),
+		MeanDelay:     col(func(s Summary) float64 { return s.MeanDelay }),
+		P95Delay:      col(func(s Summary) float64 { return s.P95Delay }),
+		MeanHops:      col(func(s Summary) float64 { return s.MeanHops }),
+		Overhead:      col(func(s Summary) float64 { return s.Overhead }),
+		DupRatio:      col(func(s Summary) float64 { return s.DupRatio }),
+		CollisionRate: col(func(s Summary) float64 { return s.CollisionRate }),
+		PathLifetime:  col(func(s Summary) float64 { return s.PathLifetime }),
+		Discoveries:   col(func(s Summary) float64 { return float64(s.Discoveries) }),
+		Breaks:        col(func(s Summary) float64 { return float64(s.Breaks) }),
+		Repairs:       col(func(s Summary) float64 { return float64(s.Repairs) }),
+		DataSent:      col(func(s Summary) float64 { return float64(s.DataSent) }),
+		DataDelivered: col(func(s Summary) float64 { return float64(s.DataDelivered) }),
+		DataForwarded: col(func(s Summary) float64 { return float64(s.DataForwarded) }),
+		MACTransmits:  col(func(s Summary) float64 { return float64(s.MACTransmits) }),
+		ControlTotal:  col(func(s Summary) float64 { return float64(s.ControlTotal) }),
+	}
+}

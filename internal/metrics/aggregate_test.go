@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewStat(t *testing.T) {
+	if s := NewStat(nil); s != (Stat{}) {
+		t.Fatalf("empty stat = %+v", s)
+	}
+	if s := NewStat([]float64{5}); s.Mean != 5 || s.Std != 0 || s.CI95 != 0 || s.N != 1 {
+		t.Fatalf("single-sample stat = %+v", s)
+	}
+	s := NewStat([]float64{2, 4, 6, 8})
+	if s.Mean != 5 || s.N != 4 {
+		t.Fatalf("stat = %+v", s)
+	}
+	wantStd := math.Sqrt(20.0 / 3.0) // sample variance of {2,4,6,8}
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+	wantCI := 3.182 * wantStd / 2 // t(0.975, df=3)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Fatalf("ci95 = %v, want %v", s.CI95, wantCI)
+	}
+	// large samples fall back to the normal quantile
+	big := make([]float64, 40)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	b := NewStat(big)
+	wantBig := 1.96 * b.Std / math.Sqrt(40)
+	if math.Abs(b.CI95-wantBig) > 1e-12 {
+		t.Fatalf("large-sample ci95 = %v, want %v", b.CI95, wantBig)
+	}
+}
+
+func TestAggregateSummaries(t *testing.T) {
+	if a := AggregateSummaries(nil); a.N != 0 {
+		t.Fatalf("empty aggregate = %+v", a)
+	}
+	sums := []Summary{
+		{Protocol: "Greedy", Scenario: "highway/60-veh", PDR: 0.8, Breaks: 4, DataSent: 100},
+		{Protocol: "Greedy", Scenario: "highway/60-veh", PDR: 0.6, Breaks: 8, DataSent: 100},
+	}
+	a := AggregateSummaries(sums)
+	if a.Protocol != "Greedy" || a.Scenario != "highway/60-veh" || a.N != 2 {
+		t.Fatalf("labels = %+v", a)
+	}
+	if math.Abs(a.PDR.Mean-0.7) > 1e-12 {
+		t.Fatalf("PDR mean = %v", a.PDR.Mean)
+	}
+	if a.Breaks.Mean != 6 || a.DataSent.Std != 0 {
+		t.Fatalf("int fields misaggregated: breaks %+v sent %+v", a.Breaks, a.DataSent)
+	}
+	if a.PDR.CI95 <= 0 {
+		t.Fatalf("CI not computed: %+v", a.PDR)
+	}
+}

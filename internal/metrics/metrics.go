@@ -153,6 +153,8 @@ func (c *Collector) CollisionRate() float64 {
 }
 
 // Summary is a flattened snapshot used by the experiment harness tables.
+// The Control map makes the struct non-comparable; compare summaries with
+// reflect.DeepEqual rather than ==.
 type Summary struct {
 	Protocol      string
 	Scenario      string
@@ -169,13 +171,21 @@ type Summary struct {
 	PathLifetime  float64
 	DataSent      int
 	DataDelivered int
+	DataForwarded int
 	MACTransmits  int
 	ControlTotal  int
+	// Control is the per-type control transmission count (RREQ, RREP, ...),
+	// a copy of the collector's map.
+	Control map[string]int
 }
 
 // Summarize produces the snapshot, labelled with protocol and scenario
 // names.
 func (c *Collector) Summarize(protocol, scenario string) Summary {
+	ctl := make(map[string]int, len(c.Control))
+	for k, v := range c.Control {
+		ctl[k] = v
+	}
 	return Summary{
 		Protocol:      protocol,
 		Scenario:      scenario,
@@ -192,8 +202,10 @@ func (c *Collector) Summarize(protocol, scenario string) Summary {
 		PathLifetime:  c.MeanPathLifetime(),
 		DataSent:      c.DataSent,
 		DataDelivered: c.DataDelivered,
+		DataForwarded: c.DataForwarded,
 		MACTransmits:  c.MACTransmits,
 		ControlTotal:  c.ControlTotal(),
+		Control:       ctl,
 	}
 }
 

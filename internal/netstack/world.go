@@ -95,6 +95,7 @@ type World struct {
 	mac   *mac.Layer
 	col   *metrics.Collector
 	nodes []*node
+	byVeh map[mobility.VehicleID]*node
 	uid   uint64
 
 	locPos   map[NodeID]geom.Vec2
@@ -122,6 +123,7 @@ func NewWorld(cfg Config, model mobility.Model) *World {
 		grid:   spatial.NewGrid(cell),
 		ch:     ch,
 		col:    col,
+		byVeh:  make(map[mobility.VehicleID]*node),
 		locPos: make(map[NodeID]geom.Vec2),
 		locVel: make(map[NodeID]geom.Vec2),
 	}
@@ -221,6 +223,9 @@ func (w *World) addNode(kind NodeKind, pos, vel geom.Vec2, r Router, vehID mobil
 		active: true,
 	}
 	w.nodes = append(w.nodes, n)
+	if vehID >= 0 {
+		w.byVeh[vehID] = n
+	}
 	w.grid.Update(int32(id), pos)
 	r.Attach(&API{world: w, node: n})
 	return id
@@ -298,16 +303,14 @@ func (w *World) Run(duration float64) error {
 // index.
 func (w *World) step(dt float64) {
 	for _, s := range w.model.States() {
-		// vehicle nodes were created in States() order with matching IDs
-		for _, n := range w.nodes {
-			if n.vehID == s.ID {
-				n.pos = s.Pos
-				n.vel = s.Vel
-				if n.active {
-					w.grid.Update(int32(n.id), n.pos)
-				}
-				break
-			}
+		n := w.byVeh[s.ID]
+		if n == nil {
+			continue
+		}
+		n.pos = s.Pos
+		n.vel = s.Vel
+		if n.active {
+			w.grid.Update(int32(n.id), n.pos)
 		}
 	}
 	w.model.Advance(dt)

@@ -1,7 +1,10 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
+
+	"github.com/vanetlab/relroute/internal/metrics"
 )
 
 func quickOpts() Options {
@@ -47,7 +50,7 @@ func TestUnknownProtocol(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	run := func() interface{} {
+	run := func() metrics.Summary {
 		sum, err := RunProtocol("AODV", quickOpts())
 		if err != nil {
 			t.Fatal(err)
@@ -55,7 +58,7 @@ func TestDeterministicRuns(t *testing.T) {
 		return sum
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("equal seeds diverged:\n%+v\n%+v", a, b)
 	}
 	opts := quickOpts()
@@ -64,7 +67,7 @@ func TestDeterministicRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a == interface{}(c) {
+	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds produced identical summaries")
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"github.com/vanetlab/relroute/internal/harness"
 	"github.com/vanetlab/relroute/internal/link"
 	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/runner"
 	"github.com/vanetlab/relroute/internal/scenario"
 )
 
@@ -87,6 +88,64 @@ func Protocols() []string { return scenario.Protocols() }
 // Run builds and executes one simulation of the named protocol.
 func Run(protocol string, opts Options) (Summary, error) {
 	return scenario.RunProtocol(protocol, opts)
+}
+
+// Campaign is an ordered batch of simulation runs; see BatchRun and
+// BatchSpec for assembling one.
+type Campaign = runner.Campaign
+
+// BatchRun is one run of a campaign: a protocol on one option set. Its
+// Setup hook receives the built Scenario before execution — the seam for
+// failure injection and extra instrumentation events.
+type BatchRun = runner.Run
+
+// Scenario is an assembled, not-yet-run simulation, as passed to a
+// BatchRun's Setup hook.
+type Scenario = scenario.Scenario
+
+// BatchSpec declares a run grid — the cross product of protocols ×
+// option sets × replication seeds — that expands into campaign runs in
+// deterministic order.
+type BatchSpec = runner.Spec
+
+// BatchResult pairs a campaign run with its summary or error.
+type BatchResult = runner.Result
+
+// Aggregate holds cross-replication statistics (mean, stddev, 95% CI)
+// over every numeric Summary field.
+type Aggregate = metrics.Aggregate
+
+// Stat is one aggregated metric: sample mean, sample stddev, and the 95%
+// confidence half-width across replications.
+type Stat = metrics.Stat
+
+// RunBatch executes a campaign across a pool of workers (<= 0 means
+// GOMAXPROCS) and returns one result per run, in submission order. For a
+// fixed per-run seed the results are identical for any worker count: each
+// run is a self-contained single-threaded simulation.
+func RunBatch(c Campaign, workers int) []BatchResult {
+	return runner.Execute(c, workers)
+}
+
+// Summaries unwraps batch results into summaries, surfacing the first
+// failed run as an error.
+func Summaries(results []BatchResult) ([]Summary, error) {
+	return runner.Summaries(results)
+}
+
+// Replications groups batch results into consecutive blocks of k — one
+// block per (protocol, grid point) cell when the campaign came from a
+// BatchSpec whose Seeds axis has length k. If k does not divide
+// len(results) — e.g. the campaign mixes spec expansions with explicit
+// runs — the trailing partial block is dropped.
+func Replications(results []BatchResult, k int) [][]BatchResult {
+	return runner.Replications(results, k)
+}
+
+// AggregateSummaries folds per-seed summaries of one scenario into
+// cross-seed statistics.
+func AggregateSummaries(sums []Summary) Aggregate {
+	return metrics.AggregateSummaries(sums)
 }
 
 // Experiments lists every reproducible figure/table experiment.

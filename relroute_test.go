@@ -1,6 +1,7 @@
 package relroute_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -119,7 +120,7 @@ func TestDeterministicFacadeRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same-seed runs diverged:\n%+v\n%+v", a, b)
 	}
 }
