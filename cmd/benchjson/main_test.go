@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/vanetlab/relroute
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScaleVehicles/200-8         	       5	  72451549 ns/op	16805897 B/op	  184829 allocs/op
+BenchmarkEngine-8                    	       5	     41467 ns/op	   24009 B/op	     500 allocs/op
+BenchmarkProtocolHighway/Greedy-8    	       1	  12345678 ns/op	         0.82 PDR
+PASS
+ok  	github.com/vanetlab/relroute	1.298s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("environment not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "ScaleVehicles/200" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Iterations != 5 || b.NsPerOp != 72451549 || b.BytesPerOp != 16805897 || b.AllocsPerOp != 184829 {
+		t.Fatalf("values not parsed: %+v", b)
+	}
+	if got := rep.Benchmarks[2].Metrics["PDR"]; got != 0.82 {
+		t.Fatalf("custom metric PDR = %v, want 0.82", got)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken\nnonsense line\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage, want 0", len(rep.Benchmarks))
+	}
+}

@@ -13,17 +13,66 @@
 //	vanetbench sweep -protocols Greedy,TBP-SS -vehicles 20,60 -seeds 5
 //	                            # protocol × density × seed grid with
 //	                            # mean ± 95% CI per cell
+//
+// Profiling: both modes accept -cpuprofile and -memprofile to capture
+// pprof profiles of the run, e.g.
+//
+//	vanetbench -exp abl-storm -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"github.com/vanetlab/relroute"
 )
+
+// profileFlags registers -cpuprofile/-memprofile on fs and returns a
+// start function whose returned stop function must run before exit.
+func profileFlags(fs *flag.FlagSet) (start func() (stop func() error, err error)) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	return func() (func() error, error) {
+		var cpuF *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			cpuF = f
+		}
+		return func() error {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				if err := cpuF.Close(); err != nil {
+					return err
+				}
+			}
+			if *mem != "" {
+				f, err := os.Create(*mem)
+				if err != nil {
+					return fmt.Errorf("memprofile: %w", err)
+				}
+				defer f.Close()
+				runtime.GC() // up-to-date allocation statistics
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					return fmt.Errorf("memprofile: %w", err)
+				}
+			}
+			return nil
+		}, nil
+	}
+}
 
 func main() {
 	args := os.Args[1:]
@@ -48,9 +97,19 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "reduced populations and durations")
 		parallel = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
 	)
+	startProfiles := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "vanetbench:", perr)
+		}
+	}()
 	if *list {
 		for _, e := range relroute.Experiments() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
@@ -91,9 +150,19 @@ func runSweep(args []string) error {
 		speed     = fs.Float64("speed", 30, "mean vehicle speed in m/s")
 		parallel  = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
 	)
+	startProfiles := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "vanetbench:", perr)
+		}
+	}()
 	protos := splitList(*protocols)
 	counts, err := splitInts(*vehicles)
 	if err != nil {

@@ -1,0 +1,62 @@
+package relroute_test
+
+// Golden-output tests pinning the simulator's observable behaviour across
+// the allocation-free core rewrite: every experiment table must be
+// byte-identical to the output captured from the pre-optimization engine
+// (commit "Capture pre-optimization golden experiment outputs"), at both
+// one worker and eight. Pooling, arena-backed event slots, pre-bound MAC
+// callbacks, and slice-backed indices must not change a single draw of any
+// random stream or the order of any event — these files prove it.
+//
+// To regenerate after an INTENTIONAL behaviour change (never for a pure
+// optimization), run:
+//
+//	go test -run TestGoldenOutputs -update-golden
+//
+// and explain the diff in the commit message.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/vanetlab/relroute"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment outputs")
+
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiments are full simulations; skipped in -short")
+	}
+	for _, id := range []string{"fig2", "abl-storm", "table1"} {
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("%s/w%d", id, workers)
+			t.Run(name, func(t *testing.T) {
+				tab, err := relroute.RunExperiment(id, relroute.ExperimentConfig{
+					Seed: 1, Quick: true, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := tab.String()
+				path := filepath.Join("testdata", fmt.Sprintf("golden_%s_w%d.txt", id, workers))
+				if *updateGolden {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("experiment %s output diverged from the golden capture.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package eventq
+
+import "testing"
+
+// The queue must be allocation-free in steady state: slots and heap
+// entries are recycled, so once the slab has grown to the working-set
+// size, Schedule, Pop, and Cancel never touch the garbage collector.
+
+func TestSchedulePopAllocFree(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		q.Schedule(float64(i), fn)
+	}
+	at := 256.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.Schedule(at, fn)
+		at++
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Pop allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+func TestScheduleCancelAllocFree(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	// warm up: grow the slab past the working set, then drain
+	ids := make([]ID, 0, 256)
+	for i := 0; i < 256; i++ {
+		ids = append(ids, q.Schedule(float64(i), fn))
+	}
+	for _, id := range ids {
+		q.Cancel(id)
+	}
+	for {
+		if _, ok := q.PeekTime(); !ok {
+			break
+		}
+		q.Pop()
+	}
+	at := 1000.0
+	allocs := testing.AllocsPerRun(100, func() {
+		id := q.Schedule(at, fn)
+		at++
+		q.Cancel(id)
+		q.PeekTime() // drains the cancelled head, recycling the slot
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Cancel allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}

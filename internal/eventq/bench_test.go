@@ -1,0 +1,45 @@
+package eventq
+
+import "testing"
+
+// BenchmarkSchedulePop measures the steady-state cost of one
+// Schedule+Pop pair over a queue pre-warmed with 1024 pending events —
+// the engine's per-event hot path.
+func BenchmarkSchedulePop(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		q.Schedule(float64(i), fn)
+	}
+	t := 1024.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		q.Schedule(t, fn)
+		t++
+		q.Pop()
+	}
+}
+
+// BenchmarkScheduleCancel measures Schedule immediately followed by
+// Cancel — the timer-armed-then-disarmed pattern ARQ and route timeouts
+// produce.
+func BenchmarkScheduleCancel(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		id := q.Schedule(float64(n), fn)
+		q.Cancel(id)
+		if n%1024 == 0 {
+			// drain lazily-cancelled slots so the heap stays bounded
+			for {
+				if _, ok := q.PeekTime(); !ok {
+					break
+				}
+				q.Pop()
+			}
+		}
+	}
+}

@@ -2,61 +2,97 @@
 // discrete-event simulation engine. Events fire in non-decreasing time
 // order; events scheduled for the same instant fire in the order they were
 // scheduled (FIFO), which keeps runs deterministic.
+//
+// The queue is allocation-free in steady state: callbacks live in a slab of
+// slots recycled through a free list, the heap entries carry their own
+// (time, seq) sort key so comparisons never chase a pointer, and IDs carry
+// a generation stamp so a recycled slot cannot be cancelled through a stale
+// handle. After warm-up, Schedule, Pop, and Cancel do not allocate.
 package eventq
 
-import "container/heap"
-
 // ID identifies a scheduled event so it can be cancelled. The zero ID is
-// never issued.
+// never issued. An ID packs the slot index (high 32 bits) and the slot's
+// generation at scheduling time (low 32 bits); generations start at 1 and
+// bump on every cancel/pop, so stale IDs are rejected without a map.
 type ID uint64
 
-// Event is a queued callback.
-type event struct {
-	at        float64
-	seq       uint64 // tie-breaker for equal times: insertion order
-	id        ID
+func makeID(slot int32, gen uint32) ID { return ID(uint64(slot)<<32 | uint64(gen)) }
+
+func (id ID) slot() int32 { return int32(id >> 32) }
+func (id ID) gen() uint32 { return uint32(id) }
+
+// slot holds the callback of one scheduled event. A slot is live (its
+// generation matches outstanding IDs), cancelled (still referenced by a
+// heap entry, lazily drained), or free (on the free list).
+type slot struct {
 	fn        func()
+	gen       uint32
 	cancelled bool
-	index     int // heap index, maintained by heap.Interface
+}
+
+// ent is one heap entry: the sort key inline plus the slot index.
+type ent struct {
+	at   float64
+	seq  uint64 // tie-breaker for equal times: insertion order
+	slot int32
+}
+
+func (a ent) before(b ent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // Queue is a time-ordered event queue. The zero value is ready to use.
 // Queue is not safe for concurrent use; the simulation engine owns it.
 type Queue struct {
-	h      eventHeap
-	nextID ID
-	seq    uint64
-	byID   map[ID]*event
-	live   int // scheduled and not cancelled
+	slots []slot
+	heap  []ent
+	free  []int32 // recycled slot indices
+	seq   uint64
+	live  int // scheduled and not cancelled
 }
 
 // Len returns the number of pending (non-cancelled) events.
 func (q *Queue) Len() int { return q.live }
 
 // Schedule enqueues fn to run at time at and returns a handle that can be
-// passed to Cancel.
+// passed to Cancel. It does not allocate once the slab has grown to the
+// queue's steady-state size.
 func (q *Queue) Schedule(at float64, fn func()) ID {
-	if q.byID == nil {
-		q.byID = make(map[ID]*event)
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.slots = append(q.slots, slot{gen: 1})
+		idx = int32(len(q.slots) - 1)
 	}
-	q.nextID++
 	q.seq++
-	ev := &event{at: at, seq: q.seq, id: q.nextID, fn: fn}
-	heap.Push(&q.h, ev)
-	q.byID[ev.id] = ev
+	s := &q.slots[idx]
+	s.fn = fn
+	s.cancelled = false
+	q.heap = append(q.heap, ent{at: at, seq: q.seq, slot: idx})
+	q.siftUp(len(q.heap) - 1)
 	q.live++
-	return ev.id
+	return makeID(idx, s.gen)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or unknown
 // event is a no-op and reports false.
 func (q *Queue) Cancel(id ID) bool {
-	ev, ok := q.byID[id]
-	if !ok || ev.cancelled {
+	idx := id.slot()
+	if idx < 0 || int(idx) >= len(q.slots) {
 		return false
 	}
-	ev.cancelled = true
-	delete(q.byID, id)
+	s := &q.slots[idx]
+	if s.gen != id.gen() {
+		return false // already fired, already cancelled, or recycled
+	}
+	s.cancelled = true
+	s.fn = nil // release the closure immediately
+	s.gen++    // stale handles (including double cancels) now mismatch
 	q.live--
 	return true
 }
@@ -65,60 +101,86 @@ func (q *Queue) Cancel(id ID) bool {
 // queue is empty.
 func (q *Queue) PeekTime() (at float64, ok bool) {
 	q.drainCancelled()
-	if q.h.Len() == 0 {
+	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.h[0].at, true
+	return q.heap[0].at, true
 }
 
 // Pop removes and returns the next event's time and callback. ok is false
 // when the queue is empty.
 func (q *Queue) Pop() (at float64, fn func(), ok bool) {
 	q.drainCancelled()
-	if q.h.Len() == 0 {
+	if len(q.heap) == 0 {
 		return 0, nil, false
 	}
-	ev := heap.Pop(&q.h).(*event)
-	delete(q.byID, ev.id)
+	idx := q.heap[0].slot
+	at = q.heap[0].at
+	s := &q.slots[idx]
+	fn = s.fn
+	s.fn = nil
+	s.gen++
+	q.removeRoot()
+	q.free = append(q.free, idx)
 	q.live--
-	return ev.at, ev.fn, true
+	return at, fn, true
 }
 
 // drainCancelled lazily discards cancelled events sitting at the head.
 func (q *Queue) drainCancelled() {
-	for q.h.Len() > 0 && q.h[0].cancelled {
-		heap.Pop(&q.h)
+	for len(q.heap) > 0 {
+		idx := q.heap[0].slot
+		if !q.slots[idx].cancelled {
+			return
+		}
+		q.slots[idx].cancelled = false
+		q.removeRoot()
+		q.free = append(q.free, idx)
 	}
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// removeRoot removes the heap root and restores the heap property.
+func (q *Queue) removeRoot() {
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
 	}
-	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (q *Queue) siftUp(i int) {
+	h := q.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (q *Queue) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	e := h[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h[right].before(h[left]) {
+			smallest = right
+		}
+		if !h[smallest].before(e) {
+			break
+		}
+		h[i] = h[smallest]
+		i = smallest
+	}
+	h[i] = e
 }

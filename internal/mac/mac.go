@@ -4,6 +4,13 @@
 // destroyed. That is the minimum realism needed to reproduce the broadcast
 // storm problem (Ni et al. [5]) that Table I's "connectivity" row hinges
 // on, without modelling full 802.11p EDCA.
+//
+// The layer is allocation-free in steady state: reception records are
+// pooled, end-of-airtime events reuse one pre-bound callback per node
+// (instead of a fresh closure per receiver per frame), per-node state
+// lives in a dense slice keyed by node ID, and transmit queues are ring
+// buffers. The simulation engine is single-threaded, so the free lists
+// need no synchronisation.
 package mac
 
 import (
@@ -85,21 +92,141 @@ func (c Config) linkRetries() int {
 	return c.LinkRetries
 }
 
-// reception tracks one in-flight frame arriving at one receiver.
+// reception tracks one in-flight frame arriving at one receiver. Records
+// are pooled by the layer; seq is a creation stamp used to match finish
+// events to receptions (events fire in exactly (end, seq) order).
 type reception struct {
 	frame    Frame
 	end      float64
+	seq      uint64
 	decoded  bool // channel draw said the frame is decodable
 	collided bool
 }
 
+// frameDeque is a ring-buffer queue of frames with O(1) push-front, so ARQ
+// retransmissions cut the line without reallocating the queue.
+type frameDeque struct {
+	buf  []Frame
+	head int
+	n    int
+}
+
+func (d *frameDeque) len() int { return d.n }
+
+func (d *frameDeque) grow() {
+	newCap := 2 * len(d.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]Frame, newCap)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+func (d *frameDeque) pushBack(f Frame) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = f
+	d.n++
+}
+
+func (d *frameDeque) pushFront(f Frame) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = f
+	d.n++
+}
+
+func (d *frameDeque) popFront() Frame {
+	f := d.buf[d.head]
+	d.buf[d.head] = Frame{} // drop payload reference
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return f
+}
+
+// recHeap is a min-heap of receptions ordered by (end, seq) — the exact
+// order their finish events fire in, so the root is always the reception
+// the current finish event belongs to. The backing slice is reused.
+type recHeap []*reception
+
+func recBefore(a, b *reception) bool {
+	if a.end != b.end {
+		return a.end < b.end
+	}
+	return a.seq < b.seq
+}
+
+func (h *recHeap) push(r *reception) {
+	*h = append(*h, r)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !recBefore(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *recHeap) popMin() *reception {
+	s := *h
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	root := s[0]
+	n--
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && recBefore(s[right], s[left]) {
+			smallest = right
+		}
+		if !recBefore(s[smallest], s[i]) {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	*h = s
+	return root
+}
+
 // nodeState is the per-node MAC state.
 type nodeState struct {
-	queue   []Frame
+	queue   frameDeque
 	sending bool
 	txUntil float64      // sender busy until (own transmission)
-	active  []*reception // receptions currently on the air at this node
+	active  []*reception // receptions currently audible at this node (carrier sense)
+	pending recHeap      // receptions awaiting their end-of-airtime event
 	retries int
+
+	// in-flight transmission state; a node transmits one frame at a time
+	// (sending serialises), so it lives here instead of in a closure.
+	txFrame      Frame
+	txUnicastRec *reception // addressed receiver's reception, until resolved
+	txUnicastOK  bool       // outcome copied at reception resolution
+
+	// pre-bound engine callbacks, created once per node
+	attemptFn  func()
+	finishRxFn func()
+	finishTxFn func()
 }
 
 // Layer is the shared MAC instance. All nodes transmit through it; it owns
@@ -113,85 +240,137 @@ type Layer struct {
 	col     *metrics.Collector
 	deliver func(to int32, f Frame)
 	fail    func(from int32, f Frame)
-	nodes   map[int32]*nodeState
+	done    func(f Frame)
+	nodes   []*nodeState // dense, keyed by node id
 	scratch []int32
+	recFree []*reception
+	recSeq  uint64
 }
 
 // NewLayer wires the MAC to the engine, channel, spatial index and metrics
 // collector. deliver is the upcall invoked for every successfully received
-// frame; fail is invoked at the sender when a unicast frame exhausts its
-// ARQ budget without the addressed receiver decoding it (the 802.11
-// "transmission failure" indication upper layers key link-break detection
-// on). fail may be nil.
+// frame; fail is invoked at the sender when a unicast frame is dropped
+// without the addressed receiver decoding it — ARQ exhaustion or a
+// busy-medium (congestion) drop, the 802.11 "transmission failure"
+// indication upper layers key link-break detection on. fail may be nil.
 func NewLayer(eng *sim.Engine, ch channel.Model, grid *spatial.Grid, cfg Config, col *metrics.Collector, deliver func(to int32, f Frame), fail func(from int32, f Frame)) *Layer {
 	return &Layer{
 		eng: eng, ch: ch, grid: grid, cfg: cfg,
 		rng: eng.Rand(), col: col, deliver: deliver, fail: fail,
-		nodes: make(map[int32]*nodeState),
 	}
 }
 
+// OnFrameDone registers a hook invoked exactly once per accepted frame when
+// it permanently leaves the MAC: after the transmission (and any ARQ
+// retries) completed, or when the frame was dropped on queue overflow,
+// congestion, or ARQ exhaustion. The network stack uses it to recycle
+// pooled frame payloads; by the time it fires, every receiver upcall for
+// the frame has already run.
+func (l *Layer) OnFrameDone(fn func(f Frame)) { l.done = fn }
+
+func (l *Layer) frameDone(f Frame) {
+	if l.done != nil {
+		l.done(f)
+	}
+}
+
+// state returns the per-node state, creating it (with its pre-bound
+// callbacks) on first use. Node IDs are dense from 0.
 func (l *Layer) state(id int32) *nodeState {
-	st, ok := l.nodes[id]
-	if !ok {
+	for int(id) >= len(l.nodes) {
+		l.nodes = append(l.nodes, nil)
+	}
+	st := l.nodes[id]
+	if st == nil {
 		st = &nodeState{}
+		st.attemptFn = func() { l.attempt(id) }
+		st.finishRxFn = func() { l.finishReception(id) }
+		st.finishTxFn = func() { l.finishTx(id) }
 		l.nodes[id] = st
 	}
 	return st
+}
+
+// newReception takes a record from the pool.
+func (l *Layer) newReception(f Frame, end float64, decoded bool) *reception {
+	var rec *reception
+	if n := len(l.recFree); n > 0 {
+		rec = l.recFree[n-1]
+		l.recFree = l.recFree[:n-1]
+	} else {
+		rec = &reception{}
+	}
+	l.recSeq++
+	*rec = reception{frame: f, end: end, decoded: decoded, seq: l.recSeq}
+	return rec
+}
+
+// releaseReception returns a resolved record to the pool. No reference may
+// outlive this call: the record is removed from both per-node lists and the
+// sender's ARQ outcome has been copied out before release.
+func (l *Layer) releaseReception(rec *reception) {
+	rec.frame = Frame{}
+	l.recFree = append(l.recFree, rec)
 }
 
 // Send enqueues a frame for transmission from frame.From. Frames beyond the
 // queue cap are dropped (and counted as channel loss).
 func (l *Layer) Send(f Frame) {
 	st := l.state(f.From)
-	if len(st.queue) >= l.cfg.queueCap() {
+	if st.queue.len() >= l.cfg.queueCap() {
 		l.col.MACChannelLoss++
+		l.frameDone(f)
 		return
 	}
-	st.queue = append(st.queue, f)
+	st.queue.pushBack(f)
 	if !st.sending {
 		st.sending = true
-		l.scheduleAttempt(f.From, st)
+		l.scheduleAttempt(st)
 	}
 }
 
 // scheduleAttempt arms the backoff timer for the head-of-queue frame.
-func (l *Layer) scheduleAttempt(id int32, st *nodeState) {
+func (l *Layer) scheduleAttempt(st *nodeState) {
 	backoff := l.rng.Float64() * l.cfg.maxBackoff()
-	l.eng.After(backoff, func() { l.attempt(id, st) })
+	l.eng.After(backoff, st.attemptFn)
 }
 
 // attempt transmits the head-of-queue frame if the medium is idle at the
 // sender, otherwise defers.
-func (l *Layer) attempt(id int32, st *nodeState) {
-	if len(st.queue) == 0 {
+func (l *Layer) attempt(id int32) {
+	st := l.state(id)
+	if st.queue.len() == 0 {
 		st.sending = false
 		return
 	}
-	if l.mediumBusy(id, st) {
+	if l.mediumBusy(st) {
 		st.retries++
 		if st.retries > l.cfg.maxRetries() {
-			// give up on this frame
-			st.queue = st.queue[1:]
+			// give up on this frame; unicast drops surface to the router
+			// exactly like ARQ exhaustion, so congestion-dropped frames
+			// still trigger link-failure handling
+			drop := st.queue.popFront()
 			st.retries = 0
 			l.col.MACChannelLoss++
-			if len(st.queue) == 0 {
+			if drop.To != Broadcast && l.fail != nil {
+				l.fail(id, drop)
+			}
+			l.frameDone(drop)
+			if st.queue.len() == 0 {
 				st.sending = false
 				return
 			}
 		}
-		l.scheduleAttempt(id, st)
+		l.scheduleAttempt(st)
 		return
 	}
 	st.retries = 0
-	f := st.queue[0]
-	st.queue = st.queue[1:]
-	l.transmit(id, st, f)
+	l.transmit(id, st, st.queue.popFront())
 }
 
 // mediumBusy reports whether the node senses ongoing traffic: its own
 // transmission or any audible reception.
-func (l *Layer) mediumBusy(id int32, st *nodeState) bool {
+func (l *Layer) mediumBusy(st *nodeState) bool {
 	now := l.eng.Now()
 	if st.txUntil > now {
 		return true
@@ -217,9 +396,11 @@ func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 	now := l.eng.Now()
 	airtime := float64(f.Size*8) / l.cfg.bitRate()
 	st.txUntil = now + airtime
+	st.txFrame = f
+	st.txUnicastRec = nil
+	st.txUnicastOK = false
 	l.col.MACTransmits++
 
-	var unicastRec *reception
 	pos, ok := l.grid.Position(from)
 	if ok {
 		l.scratch = l.grid.Within(pos, l.ch.MaxRange(), l.scratch[:0])
@@ -229,11 +410,7 @@ func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 			}
 			rxPos, _ := l.grid.Position(rx)
 			d := rxPos.Dist(pos)
-			rec := &reception{
-				frame:   f,
-				end:     now + airtime,
-				decoded: l.ch.Decodable(d, l.rng),
-			}
+			rec := l.newReception(f, now+airtime, l.ch.Decodable(d, l.rng))
 			rxState := l.state(rx)
 			l.pruneActive(rxState, now)
 			// any temporal overlap destroys both frames (no capture)
@@ -242,45 +419,30 @@ func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 				rec.collided = true
 			}
 			rxState.active = append(rxState.active, rec)
+			rxState.pending.push(rec)
 			if f.To == rx {
-				unicastRec = rec
+				st.txUnicastRec = rec
 			}
-			rxID := rx
-			l.eng.After(airtime, func() { l.finishReception(rxID, rec) })
+			l.eng.After(airtime, rxState.finishRxFn)
 		}
 	}
 	// After the airtime: resolve unicast ARQ, then start the next frame.
-	// Receiver-side finishReception events were scheduled first, so by the
-	// time this fires the addressed receiver's outcome is final.
-	l.eng.After(airtime, func() {
-		if f.To != Broadcast {
-			success := unicastRec != nil && unicastRec.decoded && !unicastRec.collided
-			if !success {
-				if f.attempts < l.cfg.linkRetries() {
-					retry := f
-					retry.attempts++
-					// retransmissions cut the line: prepend to the queue
-					st.queue = append([]Frame{retry}, st.queue...)
-				} else {
-					l.col.MACChannelLoss++
-					if l.fail != nil {
-						l.fail(from, f)
-					}
-				}
-			}
-		}
-		if len(st.queue) == 0 {
-			st.sending = false
-			return
-		}
-		l.scheduleAttempt(from, st)
-	})
+	// Receiver-side finish events were scheduled first, so by the time this
+	// fires the addressed receiver's outcome is final.
+	l.eng.After(airtime, st.finishTxFn)
 }
 
-// finishReception resolves one reception at its end time.
-func (l *Layer) finishReception(rx int32, rec *reception) {
+// finishReception resolves one reception at its end time. Finish events
+// fire in (end, creation-seq) order — exactly the order of the engine's
+// (time, FIFO) event ordering — so the event firing now belongs to the
+// pending heap's root.
+func (l *Layer) finishReception(rx int32) {
 	st := l.state(rx)
-	// remove from active list
+	rec := st.pending.popMin()
+	if rec == nil {
+		return
+	}
+	// remove from the carrier-sense set (may already have been pruned)
 	for i, r := range st.active {
 		if r == rec {
 			st.active[i] = st.active[len(st.active)-1]
@@ -297,4 +459,43 @@ func (l *Layer) finishReception(rx int32, rec *reception) {
 		l.col.MACDelivered++
 		l.deliver(rx, rec.frame)
 	}
+	// the sender may be awaiting this reception's outcome for unicast ARQ;
+	// copy it out before the record is recycled
+	if from := rec.frame.From; int(from) < len(l.nodes) {
+		if sst := l.nodes[from]; sst != nil && sst.txUnicastRec == rec {
+			sst.txUnicastOK = rec.decoded && !rec.collided
+			sst.txUnicastRec = nil
+		}
+	}
+	l.releaseReception(rec)
+}
+
+// finishTx runs at the sender when its transmission's airtime ends: resolve
+// unicast ARQ, then start the next queued frame.
+func (l *Layer) finishTx(from int32) {
+	st := l.state(from)
+	f := st.txFrame
+	st.txFrame = Frame{} // drop payload reference
+	st.txUnicastRec = nil
+	if f.To != Broadcast && !st.txUnicastOK {
+		if f.attempts < l.cfg.linkRetries() {
+			retry := f
+			retry.attempts++
+			// retransmissions cut the line: push to the queue front
+			st.queue.pushFront(retry)
+		} else {
+			l.col.MACChannelLoss++
+			if l.fail != nil {
+				l.fail(from, f)
+			}
+			l.frameDone(f)
+		}
+	} else {
+		l.frameDone(f)
+	}
+	if st.queue.len() == 0 {
+		st.sending = false
+		return
+	}
+	l.scheduleAttempt(st)
 }

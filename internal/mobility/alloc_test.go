@@ -1,0 +1,61 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/roadnet"
+)
+
+// StatesInto with a pre-sized buffer must not allocate — it is called once
+// per mobility tick by the network stack.
+func TestStatesIntoAllocFree(t *testing.T) {
+	net, eb, wb, err := roadnet.Highway(2000, 2, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewRoadModel(net, rand.New(rand.NewSource(1)), ContinueRandom)
+	for i := 0; i < 100; i++ {
+		seg := eb
+		if i%2 == 1 {
+			seg = wb
+		}
+		m.AddVehicle(seg, i%2, float64(i)*15, DefaultIDM(30), Car)
+	}
+	m.Advance(0.1)
+	buf := make([]State, 0, 128)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = m.StatesInto(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("StatesInto allocates %.1f objects/op with a pre-sized buffer, want 0", allocs)
+	}
+	if len(buf) != 100 {
+		t.Fatalf("StatesInto returned %d states, want 100", len(buf))
+	}
+}
+
+// StatesInto must agree exactly with States.
+func TestStatesIntoMatchesStates(t *testing.T) {
+	net, eb, _, err := roadnet.Highway(1000, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewRoadModel(net, rand.New(rand.NewSource(2)), ContinueRandom)
+	for i := 0; i < 20; i++ {
+		m.AddVehicle(eb, i%2, float64(i)*30, DefaultIDM(28), Car)
+	}
+	for tick := 0; tick < 5; tick++ {
+		m.Advance(0.1)
+		a := m.States()
+		b := m.StatesInto(nil)
+		if len(a) != len(b) {
+			t.Fatalf("tick %d: States %d entries, StatesInto %d", tick, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("tick %d entry %d: States %+v != StatesInto %+v", tick, i, a[i], b[i])
+			}
+		}
+	}
+}

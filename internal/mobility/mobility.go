@@ -47,9 +47,13 @@ const (
 
 // Model is the interface the simulation polls. Advance moves every vehicle
 // by dt seconds; States returns the current state of every active vehicle.
+// StatesInto appends the same states to dst and returns the extended slice,
+// so per-tick pollers can reuse one buffer instead of allocating a fresh
+// snapshot every tick.
 type Model interface {
 	Advance(dt float64)
 	States() []State
+	StatesInto(dst []State) []State
 	// Len returns the number of active vehicles.
 	Len() int
 }
@@ -106,6 +110,10 @@ type vehicle struct {
 	rng    *rand.Rand
 	// lane-change hysteresis: no second change for a short period
 	laneCooldown float64
+	// orderIdx is this vehicle's position in its (segment, lane) ordered
+	// list, refreshed by rebuildOrder; it makes the same-lane leader
+	// lookup O(1).
+	orderIdx int32
 }
 
 // RoadModel moves vehicles over a roadnet.Network with IDM + lane changes.
@@ -118,13 +126,11 @@ type RoadModel struct {
 	rng   *rand.Rand
 	now   float64
 	exitP ExitPolicy
-	// scratch: per (segment, lane) ordered vehicle lists, rebuilt each tick
-	order map[laneKey][]*vehicle
-}
-
-type laneKey struct {
-	seg  roadnet.SegmentID
-	lane int
+	// scratch: per (segment, lane) ordered vehicle lists, rebuilt each
+	// tick. Indexed densely by seg*maxLanes+lane — no map hashing in the
+	// per-vehicle hot path.
+	order    [][]*vehicle
+	maxLanes int
 }
 
 // ExitPolicy decides what happens when a vehicle reaches the end of its
@@ -143,7 +149,22 @@ func NewRoadModel(net *roadnet.Network, rng *rand.Rand, exit ExitPolicy) *RoadMo
 	if exit == 0 {
 		exit = ContinueRandom
 	}
-	return &RoadModel{net: net, rng: rng, exitP: exit, order: make(map[laneKey][]*vehicle)}
+	maxLanes := 1
+	for s := 0; s < net.Segments(); s++ {
+		if l := net.Segment(roadnet.SegmentID(s)).Lanes; l > maxLanes {
+			maxLanes = l
+		}
+	}
+	return &RoadModel{
+		net: net, rng: rng, exitP: exit,
+		order:    make([][]*vehicle, net.Segments()*maxLanes),
+		maxLanes: maxLanes,
+	}
+}
+
+// laneList returns the ordered vehicle list of one (segment, lane).
+func (m *RoadModel) laneList(seg roadnet.SegmentID, lane int) []*vehicle {
+	return m.order[int(seg)*m.maxLanes+lane]
 }
 
 // Network returns the underlying road network.
@@ -287,20 +308,29 @@ func (m *RoadModel) nextSegment(v *vehicle) (roadnet.SegmentID, bool) {
 	return choices[v.rng.Intn(len(choices))], true
 }
 
-// rebuildOrder sorts vehicles per (segment, lane) by offset.
+// rebuildOrder sorts vehicles per (segment, lane) by offset. Lane lists are
+// truncated and refilled in place (instead of reallocated) so their backing
+// arrays are reused tick after tick. The fill order is m.vs order (ascending
+// ID) and the sort is stable, so equal-offset vehicles order by ID — the
+// invariant gapAhead's tie-break relies on.
 func (m *RoadModel) rebuildOrder() {
-	for k := range m.order {
-		delete(m.order, k)
+	for k, list := range m.order {
+		if len(list) > 0 {
+			m.order[k] = list[:0]
+		}
 	}
 	for _, v := range m.vs {
 		if v == nil {
 			continue
 		}
-		k := laneKey{v.seg, v.lane}
+		k := int(v.seg)*m.maxLanes + v.lane
 		m.order[k] = append(m.order[k], v)
 	}
 	for _, list := range m.order {
 		insertionSortVehicles(list)
+		for i, o := range list {
+			o.orderIdx = int32(i)
+		}
 	}
 }
 
@@ -315,20 +345,38 @@ func insertionSortVehicles(list []*vehicle) {
 // gapAhead returns the bumper gap and speed of the leader in the given lane
 // of v's segment (or on the following segment within lookahead). Gap is
 // +Inf on free road.
+//
+// Lane lists are sorted by (offset, ID), so the same-lane leader is simply
+// the next list entry after v (everything before v is behind it or an
+// excluded equal-offset lower ID); for a foreign lane, a binary search
+// finds the first candidate at or ahead of v's offset.
 func (m *RoadModel) gapAhead(v *vehicle, lane int) (gap, leaderSpeed float64) {
-	list := m.order[laneKey{v.seg, lane}]
+	list := m.laneList(v.seg, lane)
 	var leader *vehicle
-	for _, o := range list {
-		if o == v {
-			continue
+	if lane == v.lane && int(v.orderIdx) < len(list) && list[v.orderIdx] == v {
+		if int(v.orderIdx)+1 < len(list) {
+			leader = list[v.orderIdx+1]
 		}
-		if o.offset >= v.offset && (o != v) {
+	} else {
+		lo, hi := 0, len(list)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if list[mid].offset < v.offset {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for ; lo < len(list); lo++ {
+			o := list[lo]
+			if o == v {
+				continue
+			}
 			if o.offset == v.offset && o.id < v.id {
 				continue // deterministic tie-break
 			}
-			if leader == nil || o.offset < leader.offset {
-				leader = o
-			}
+			leader = o
+			break
 		}
 	}
 	if leader != nil {
@@ -348,7 +396,7 @@ func (m *RoadModel) gapAhead(v *vehicle, lane int) (gap, leaderSpeed float64) {
 			if nl >= m.net.Segment(nextSeg).Lanes {
 				nl = m.net.Segment(nextSeg).Lanes - 1
 			}
-			for _, o := range m.order[laneKey{nextSeg, nl}] {
+			for _, o := range m.laneList(nextSeg, nl) {
 				return remaining + o.offset - o.params.Length, o.speed
 			}
 		}
@@ -387,7 +435,7 @@ func (m *RoadModel) maybeChangeLane(v *vehicle) {
 }
 
 func (m *RoadModel) safeToEnter(v *vehicle, lane int) bool {
-	for _, o := range m.order[laneKey{v.seg, lane}] {
+	for _, o := range m.laneList(v.seg, lane) {
 		if o == v {
 			continue
 		}
@@ -404,14 +452,19 @@ func (m *RoadModel) safeToEnter(v *vehicle, lane int) bool {
 
 // States implements Model.
 func (m *RoadModel) States() []State {
-	out := make([]State, 0, len(m.vs))
+	return m.StatesInto(make([]State, 0, len(m.vs)))
+}
+
+// StatesInto implements Model: it appends every active vehicle's state to
+// dst, allocating only when dst lacks capacity.
+func (m *RoadModel) StatesInto(dst []State) []State {
 	for _, v := range m.vs {
 		if v == nil {
 			continue
 		}
 		seg := m.net.Segment(v.seg)
 		pos := seg.PosAt(v.lane, v.offset)
-		out = append(out, State{
+		dst = append(dst, State{
 			ID:      v.id,
 			Pos:     pos,
 			Vel:     seg.Heading(v.speed),
@@ -423,7 +476,7 @@ func (m *RoadModel) States() []State {
 			Class:   v.class,
 		})
 	}
-	return out
+	return dst
 }
 
 func clampF(v, lo, hi float64) float64 {

@@ -54,14 +54,18 @@ func (m *PlaybackModel) Now() float64 { return m.now }
 
 // States implements Model.
 func (m *PlaybackModel) States() []State {
-	out := make([]State, 0, len(m.tracks))
+	return m.StatesInto(make([]State, 0, len(m.tracks)))
+}
+
+// StatesInto implements Model.
+func (m *PlaybackModel) StatesInto(dst []State) []State {
 	for i := range m.tracks {
 		tr := &m.tracks[i]
 		if len(tr.Waypoints) == 0 {
 			continue
 		}
 		pos, vel, speed := interpolate(tr.Waypoints, m.now)
-		out = append(out, State{
+		dst = append(dst, State{
 			ID:    tr.ID,
 			Pos:   pos,
 			Vel:   vel,
@@ -69,7 +73,7 @@ func (m *PlaybackModel) States() []State {
 			Class: tr.Class,
 		})
 	}
-	return out
+	return dst
 }
 
 func interpolate(wps []Waypoint, t float64) (pos, vel geom.Vec2, speed float64) {

@@ -74,6 +74,11 @@ type Packet struct {
 // Clone returns a shallow copy. The stack clones packets per receiver on
 // broadcast so routers can mutate header fields freely; Payload is shared
 // and must be treated as immutable (copy-on-write in the protocol).
+//
+// Clone always heap-allocates. The per-receiver copies the stack itself
+// hands to Router.HandlePacket instead come from the World's free list and
+// can be recycled through API.Release when the packet's journey ends —
+// see the ownership rules on API.Release.
 func (p *Packet) Clone() *Packet {
 	cp := *p
 	return &cp

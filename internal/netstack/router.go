@@ -141,6 +141,16 @@ func (a *API) Drop(pkt *Packet) {
 	}
 }
 
+// Release hands a packet back to the stack's free list. Only the packet's
+// owner may call it, and only when the packet's journey provably ends at
+// this node (duplicate discard, delivery at the destination, terminal
+// drop). The caller must hold no other reference: in particular a packet
+// that was passed to Send, stored in a retry buffer, or shared with a
+// timer callback must NOT be released. Releasing is optional — packets
+// that are never released are simply garbage collected. The engine is
+// single-threaded, so the free list needs no synchronisation.
+func (a *API) Release(pkt *Packet) { a.world.putPacket(pkt) }
+
 // RangeEstimate returns the channel's 50% reception range: the r every
 // analytic lifetime computation (Eqn 4) uses.
 func (a *API) RangeEstimate() float64 { return a.world.ch.MeanRange() }

@@ -95,12 +95,23 @@ type World struct {
 	mac   *mac.Layer
 	col   *metrics.Collector
 	nodes []*node
-	byVeh map[mobility.VehicleID]*node
+	byVeh []*node // vehicle ID → node; vehicle IDs are dense from 0
 	uid   uint64
 
-	locPos   map[NodeID]geom.Vec2
-	locVel   map[NodeID]geom.Vec2
-	locFresh bool
+	// idealised location service: last sampled kinematics, dense by node ID
+	locPos []geom.Vec2
+	locVel []geom.Vec2
+	locOK  []bool
+
+	// stateBuf is the reused mobility snapshot buffer for the tick loop.
+	stateBuf []mobility.State
+
+	// free lists: the engine is single-threaded, so recycling needs no
+	// synchronisation. pktFree recycles per-receiver dispatch clones that
+	// routers hand back via API.Release; helloFree recycles beacon packets
+	// (payload *beacon included) once the MAC reports the frame done.
+	pktFree   []*Packet
+	helloFree []*Packet
 }
 
 // NewWorld builds a world over the given mobility model. Call one of the
@@ -117,18 +128,46 @@ func NewWorld(cfg Config, model mobility.Model) *World {
 		cell = 250
 	}
 	w := &World{
-		cfg:    cfg,
-		eng:    eng,
-		model:  model,
-		grid:   spatial.NewGrid(cell),
-		ch:     ch,
-		col:    col,
-		byVeh:  make(map[mobility.VehicleID]*node),
-		locPos: make(map[NodeID]geom.Vec2),
-		locVel: make(map[NodeID]geom.Vec2),
+		cfg:   cfg,
+		eng:   eng,
+		model: model,
+		grid:  spatial.NewGrid(cell),
+		ch:    ch,
+		col:   col,
 	}
 	w.mac = mac.NewLayer(eng, ch, w.grid, cfg.MAC, col, w.dispatch, w.txFailed)
+	w.mac.OnFrameDone(w.frameDone)
 	return w
+}
+
+// getPacket takes a packet from the pool (or allocates one). Callers own
+// the result until they pass it to Send or Release.
+func (w *World) getPacket() *Packet {
+	if n := len(w.pktFree); n > 0 {
+		p := w.pktFree[n-1]
+		w.pktFree = w.pktFree[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// putPacket recycles a packet. The caller asserts no reference to it
+// remains anywhere — see the ownership rules in the README's Performance
+// section.
+func (w *World) putPacket(p *Packet) {
+	*p = Packet{}
+	w.pktFree = append(w.pktFree, p)
+}
+
+// frameDone is the MAC's frame-lifecycle hook: by the time it fires, every
+// receiver upcall for the frame has run, so stack-owned payloads (beacons)
+// can be recycled.
+func (w *World) frameDone(f mac.Frame) {
+	pkt, ok := f.Payload.(*Packet)
+	if !ok || pkt.Kind != KindHello {
+		return
+	}
+	w.helloFree = append(w.helloFree, pkt)
 }
 
 // Engine exposes the underlying engine (used by the harness for extra
@@ -224,6 +263,9 @@ func (w *World) addNode(kind NodeKind, pos, vel geom.Vec2, r Router, vehID mobil
 	}
 	w.nodes = append(w.nodes, n)
 	if vehID >= 0 {
+		for int(vehID) >= len(w.byVeh) {
+			w.byVeh = append(w.byVeh, nil)
+		}
 		w.byVeh[vehID] = n
 	}
 	w.grid.Update(int32(id), pos)
@@ -302,7 +344,12 @@ func (w *World) Run(duration float64) error {
 // step advances mobility and refreshes node kinematics and the spatial
 // index.
 func (w *World) step(dt float64) {
-	for _, s := range w.model.States() {
+	w.stateBuf = w.model.StatesInto(w.stateBuf[:0])
+	for i := range w.stateBuf {
+		s := &w.stateBuf[i]
+		if int(s.ID) >= len(w.byVeh) {
+			continue
+		}
 		n := w.byVeh[s.ID]
 		if n == nil {
 			continue
@@ -327,35 +374,52 @@ func (w *World) step(dt float64) {
 }
 
 func (w *World) refreshLocations() {
+	for len(w.locPos) < len(w.nodes) {
+		w.locPos = append(w.locPos, geom.Vec2{})
+		w.locVel = append(w.locVel, geom.Vec2{})
+		w.locOK = append(w.locOK, false)
+	}
 	for _, n := range w.nodes {
 		w.locPos[n.id] = n.pos
 		w.locVel[n.id] = n.vel
+		w.locOK[n.id] = true
 	}
 }
 
 func (w *World) lookupPosition(dst NodeID) (geom.Vec2, geom.Vec2, bool) {
-	p, ok := w.locPos[dst]
-	if !ok {
+	if int(dst) >= len(w.locOK) || dst < 0 || !w.locOK[dst] {
 		n := w.nodeByID(dst)
 		if n == nil {
 			return geom.Vec2{}, geom.Vec2{}, false
 		}
 		return n.pos, n.vel, true
 	}
-	return p, w.locVel[dst], true
+	return w.locPos[dst], w.locVel[dst], true
 }
 
-// sendBeacon broadcasts a HELLO for node n.
+// sendBeacon broadcasts a HELLO for node n. Beacon packets (and their
+// boxed payload) are recycled through helloFree once the MAC reports the
+// frame's lifecycle complete — beacons never reach routers, so the stack
+// is their only owner.
 func (w *World) sendBeacon(n *node) {
 	if !n.active {
 		return
 	}
-	pkt := &Packet{
+	var pkt *Packet
+	if k := len(w.helloFree); k > 0 {
+		pkt = w.helloFree[k-1]
+		w.helloFree = w.helloFree[:k-1]
+	} else {
+		pkt = &Packet{Payload: new(beacon)}
+	}
+	b := pkt.Payload.(*beacon)
+	b.kind, b.pos, b.vel = n.kind, n.pos, n.vel
+	*pkt = Packet{
 		UID:  0, // beacons are unnumbered
 		Kind: KindHello, Proto: "hello",
 		Src: n.id, Dst: Broadcast, From: n.id, To: Broadcast,
 		TTL: 1, Size: w.cfg.beaconSize(), Created: w.eng.Now(),
-		Payload: beacon{kind: n.kind, pos: n.pos, vel: n.vel},
+		Payload: b,
 	}
 	w.col.OnControl(KindHello, pkt.Size)
 	w.mac.Send(mac.Frame{From: int32(n.id), To: mac.Broadcast, Size: pkt.Size, Payload: pkt})
@@ -411,7 +475,7 @@ func (w *World) dispatch(to int32, f mac.Frame) {
 		return // unicast not for us; no promiscuous data path
 	}
 	if pkt.Kind == KindHello {
-		b, ok := pkt.Payload.(beacon)
+		b, ok := pkt.Payload.(*beacon)
 		if !ok {
 			return
 		}
@@ -421,8 +485,11 @@ func (w *World) dispatch(to int32, f mac.Frame) {
 		n.router.OnBeacon(*nb)
 		return
 	}
-	// Hand the router its own mutable copy.
-	cp := pkt.Clone()
+	// Hand the router its own mutable copy, drawn from the pool; the
+	// router owns it and may hand it back via API.Release when its
+	// journey provably ends.
+	cp := w.getPacket()
+	*cp = *pkt
 	cp.Hops++
 	n.router.HandlePacket(cp)
 }

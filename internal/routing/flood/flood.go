@@ -46,23 +46,31 @@ func (r *Router) Originate(dst netstack.NodeID, size int) {
 }
 
 // HandlePacket implements netstack.Router: deliver if addressed to us,
-// rebroadcast the first copy otherwise.
+// rebroadcast the first copy otherwise. Every terminal path hands the
+// received copy back to the stack's pool — in a broadcast storm the
+// overwhelming majority of receptions are duplicates, so recycling them
+// is what keeps the flood allocation-free in steady state.
 func (r *Router) HandlePacket(pkt *netstack.Packet) {
 	if pkt.Kind != netstack.KindData {
+		r.API.Release(pkt)
 		return
 	}
 	if r.dup.Seen(routing.DupKey{Origin: pkt.Src, Seq: pkt.UID}, r.API.Now()) {
+		r.API.Release(pkt)
 		return
 	}
 	if pkt.Dst == r.API.Self() || pkt.Dst == netstack.Broadcast {
 		r.API.Deliver(pkt)
 		if pkt.Dst == r.API.Self() {
-			return // unicast semantics: the destination does not rebroadcast
+			// unicast semantics: the destination does not rebroadcast
+			r.API.Release(pkt)
+			return
 		}
 	}
 	pkt.TTL--
 	if pkt.Expired() {
 		r.API.Drop(pkt)
+		r.API.Release(pkt)
 		return
 	}
 	r.API.Send(netstack.Broadcast, pkt)

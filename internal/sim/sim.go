@@ -117,21 +117,20 @@ func (e *Engine) Drain() {
 func (e *Engine) Ticker(start, interval, jitter float64, rng *rand.Rand, fn func()) (stop func()) {
 	var id TimerID
 	stopped := false
-	var schedule func(at float64)
-	schedule = func(at float64) {
-		id = e.At(at, func() {
-			if stopped {
-				return
-			}
-			fn()
-			next := e.now + interval
-			if jitter > 0 && rng != nil {
-				next += interval * jitter * (rng.Float64() - 0.5)
-			}
-			schedule(next)
-		})
+	// One closure rescheduling itself keeps periodic work allocation-free.
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		next := e.now + interval
+		if jitter > 0 && rng != nil {
+			next += interval * jitter * (rng.Float64() - 0.5)
+		}
+		id = e.At(next, tick)
 	}
-	schedule(start)
+	id = e.At(start, tick)
 	return func() {
 		stopped = true
 		e.Cancel(id)

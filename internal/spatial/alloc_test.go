@@ -1,0 +1,43 @@
+package spatial
+
+import (
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+// Range queries over a warmed index must not allocate: positions live in a
+// dense slice and the caller passes a reusable result buffer.
+func TestWithinAllocFree(t *testing.T) {
+	g := NewGrid(250)
+	for i := int32(0); i < 200; i++ {
+		g.Update(i, geom.V(float64(i)*10, 0))
+	}
+	dst := make([]int32, 0, 256)
+	allocs := testing.AllocsPerRun(1000, func() {
+		dst = g.Within(geom.V(1000, 0), 250, dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("Within allocates %.1f objects/op with a pre-sized dst, want 0", allocs)
+	}
+}
+
+// Moving an already-indexed item must not allocate unless it enters a
+// brand-new cell of the sparse cell table.
+func TestUpdateMoveAllocFree(t *testing.T) {
+	g := NewGrid(250)
+	for i := int32(0); i < 200; i++ {
+		g.Update(i, geom.V(float64(i)*10, 0))
+	}
+	x := 0.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.Update(7, geom.V(70+x, 0))
+		x += 0.1
+		if x > 50 {
+			x = 0
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("in-cell Update allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,40 @@
+package spatial
+
+import (
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+// BenchmarkWithin measures a 250 m range query over 200 nodes spread on
+// a 2 km highway strip — the MAC's candidate-receiver lookup.
+func BenchmarkWithin(b *testing.B) {
+	g := NewGrid(250)
+	for i := int32(0); i < 200; i++ {
+		g.Update(i, geom.V(float64(i)*10, float64(i%4)*3.5))
+	}
+	var dst []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		dst = g.Within(geom.V(1000, 0), 250, dst[:0])
+	}
+	if len(dst) == 0 {
+		b.Fatal("no results")
+	}
+}
+
+// BenchmarkUpdate measures moving an indexed node — the per-vehicle
+// per-tick cost of World.step.
+func BenchmarkUpdate(b *testing.B) {
+	g := NewGrid(250)
+	for i := int32(0); i < 200; i++ {
+		g.Update(i, geom.V(float64(i)*10, 0))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		id := int32(n % 200)
+		g.Update(id, geom.V(float64(id)*10+float64(n%7), 0))
+	}
+}

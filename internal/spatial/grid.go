@@ -9,12 +9,16 @@ import (
 	"github.com/vanetlab/relroute/internal/geom"
 )
 
-// Grid is a uniform spatial hash over int32 item IDs. The zero value is not
-// usable; construct with NewGrid.
+// Grid is a uniform spatial hash over int32 item IDs. IDs are expected to
+// be dense from zero (node IDs are), so positions live in a slice indexed
+// by ID — range queries do one bounds-checked load per candidate instead of
+// a map lookup. The zero value is not usable; construct with NewGrid.
 type Grid struct {
 	cell  float64
 	cells map[cellKey][]int32
-	pos   map[int32]geom.Vec2
+	pos   []geom.Vec2 // indexed by id; valid iff present[id]
+	in    []bool      // present[id]: id is indexed
+	count int
 }
 
 type cellKey struct{ cx, cy int32 }
@@ -29,7 +33,6 @@ func NewGrid(cellSize float64) *Grid {
 	return &Grid{
 		cell:  cellSize,
 		cells: make(map[cellKey][]int32),
-		pos:   make(map[int32]geom.Vec2),
 	}
 }
 
@@ -37,7 +40,7 @@ func NewGrid(cellSize float64) *Grid {
 func (g *Grid) CellSize() float64 { return g.cell }
 
 // Len returns the number of indexed items.
-func (g *Grid) Len() int { return len(g.pos) }
+func (g *Grid) Len() int { return g.count }
 
 func (g *Grid) key(p geom.Vec2) cellKey {
 	return cellKey{
@@ -46,16 +49,31 @@ func (g *Grid) key(p geom.Vec2) cellKey {
 	}
 }
 
+// grow extends the dense arrays to cover id.
+func (g *Grid) grow(id int32) {
+	for int(id) >= len(g.pos) {
+		g.pos = append(g.pos, geom.Vec2{})
+		g.in = append(g.in, false)
+	}
+}
+
 // Update inserts the item or moves it to a new position.
 func (g *Grid) Update(id int32, p geom.Vec2) {
-	if old, ok := g.pos[id]; ok {
-		ok2 := g.key(old)
+	if id < 0 {
+		return
+	}
+	g.grow(id)
+	if g.in[id] {
+		old := g.key(g.pos[id])
 		nk := g.key(p)
-		if ok2 == nk {
+		if old == nk {
 			g.pos[id] = p
 			return
 		}
-		g.removeFromCell(ok2, id)
+		g.removeFromCell(old, id)
+	} else {
+		g.in[id] = true
+		g.count++
 	}
 	k := g.key(p)
 	g.cells[k] = append(g.cells[k], id)
@@ -65,12 +83,12 @@ func (g *Grid) Update(id int32, p geom.Vec2) {
 // Remove deletes the item from the index. Removing an unknown item is a
 // no-op.
 func (g *Grid) Remove(id int32) {
-	p, ok := g.pos[id]
-	if !ok {
+	if id < 0 || int(id) >= len(g.in) || !g.in[id] {
 		return
 	}
-	g.removeFromCell(g.key(p), id)
-	delete(g.pos, id)
+	g.removeFromCell(g.key(g.pos[id]), id)
+	g.in[id] = false
+	g.count--
 }
 
 func (g *Grid) removeFromCell(k cellKey, id int32) {
@@ -91,8 +109,10 @@ func (g *Grid) removeFromCell(k cellKey, id int32) {
 
 // Position returns the indexed position of the item.
 func (g *Grid) Position(id int32) (geom.Vec2, bool) {
-	p, ok := g.pos[id]
-	return p, ok
+	if id < 0 || int(id) >= len(g.in) || !g.in[id] {
+		return geom.Vec2{}, false
+	}
+	return g.pos[id], true
 }
 
 // Within appends to dst the IDs of all items within radius r of p
@@ -119,20 +139,19 @@ func (g *Grid) Within(p geom.Vec2, r float64, dst []int32) []int32 {
 
 // Nearest returns the indexed item closest to p, excluding the item with id
 // skip (pass a negative value to exclude nothing). ok is false when the
-// index is empty or holds only the skipped item.
+// index is empty or holds only the skipped item. Ties break toward the
+// lowest ID (deterministic, unlike map iteration).
 func (g *Grid) Nearest(p geom.Vec2, skip int32) (id int32, dist float64, ok bool) {
-	// Expanding ring search over cells, falling back to full scan for
-	// small indexes.
 	best := int32(-1)
 	bestD2 := math.Inf(1)
-	for i, q := range g.pos {
-		if i == skip {
+	for i := range g.pos {
+		if !g.in[i] || int32(i) == skip {
 			continue
 		}
-		d2 := q.DistSq(p)
+		d2 := g.pos[i].DistSq(p)
 		if d2 < bestD2 {
 			bestD2 = d2
-			best = i
+			best = int32(i)
 		}
 	}
 	if best < 0 {
