@@ -2,6 +2,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,5 +52,70 @@ func TestParseIgnoresGarbage(t *testing.T) {
 	}
 	if len(rep.Benchmarks) != 0 {
 		t.Fatalf("parsed %d benchmarks from garbage, want 0", len(rep.Benchmarks))
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", &Report{Benchmarks: []Result{
+		{Name: "ScaleVehicles/200", NsPerOp: 100},
+		{Name: "Engine", NsPerOp: 50},
+		{Name: "Retired", NsPerOp: 10},
+	}})
+	within := writeReport(t, dir, "within.json", &Report{Benchmarks: []Result{
+		{Name: "ScaleVehicles/200", NsPerOp: 110},  // +10%: inside the gate
+		{Name: "Engine", NsPerOp: 40},              // improvement
+		{Name: "ScaleVehicles/1000", NsPerOp: 999}, // new point, no baseline
+	}})
+	regressed, err := runCompare(old, within, 0.15, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("+10% flagged as regression at threshold 0.15")
+	}
+
+	bad := writeReport(t, dir, "bad.json", &Report{Benchmarks: []Result{
+		{Name: "ScaleVehicles/200", NsPerOp: 120}, // +20%
+		{Name: "Engine", NsPerOp: 50},
+	}})
+	regressed, err = runCompare(old, bad, 0.15, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("+20% not flagged at threshold 0.15")
+	}
+}
+
+func TestCompareBadFile(t *testing.T) {
+	if _, err := runCompare("does-not-exist.json", "also-missing.json", 0.15, io.Discard); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+}
+
+func TestParseArgsInterleaved(t *testing.T) {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	compare := fs.Bool("compare", false, "")
+	threshold := fs.Float64("threshold", 0.15, "")
+	files := parseArgs(fs, []string{"-compare", "old.json", "new.json", "-threshold", "0.3"})
+	if !*compare || *threshold != 0.3 {
+		t.Fatalf("flags not parsed: compare=%v threshold=%v", *compare, *threshold)
+	}
+	if len(files) != 2 || files[0] != "old.json" || files[1] != "new.json" {
+		t.Fatalf("files = %v", files)
 	}
 }

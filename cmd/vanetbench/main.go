@@ -14,6 +14,12 @@
 //	                            # protocol × density × seed grid with
 //	                            # mean ± 95% CI per cell
 //
+//	vanetbench scale -vehicles 100,200,500,1000 -densities 50,100 -seeds 3
+//	                            # simulator-throughput sweep: vehicles ×
+//	                            # density (veh/km; highway length scales to
+//	                            # hold it), wall-clock per run, optional
+//	                            # -json report for CI archival
+//
 // Profiling: both modes accept -cpuprofile and -memprofile to capture
 // pprof profiles of the run, e.g.
 //
@@ -22,13 +28,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/vanetlab/relroute"
 )
@@ -77,9 +86,12 @@ func profileFlags(fs *flag.FlagSet) (start func() (stop func() error, err error)
 func main() {
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "sweep" {
+	switch {
+	case len(args) > 0 && args[0] == "sweep":
 		err = runSweep(args[1:])
-	} else {
+	case len(args) > 0 && args[0] == "scale":
+		err = runScale(args[1:])
+	default:
 		err = run(args)
 	}
 	if err != nil {
@@ -230,6 +242,145 @@ func runSweep(args []string) error {
 			*seed0, *seed0+int64(*seeds)-1, *duration, *length, *speed))
 	tab.Render(os.Stdout)
 	return nil
+}
+
+// scaleCell is one (vehicles, density) point of the scale sweep, averaged
+// over seeds.
+type scaleCell struct {
+	Vehicles  int     `json:"vehicles"`
+	DensityKm float64 `json:"density_veh_per_km"`
+	LengthM   float64 `json:"highway_length_m"`
+	Seeds     int     `json:"seeds"`
+	MeanMs    float64 `json:"mean_ms"`
+	MinMs     float64 `json:"min_ms"`
+	PDR       float64 `json:"pdr"`
+}
+
+// scaleReport is the -json document CI archives next to BENCH_core.json.
+type scaleReport struct {
+	Protocol string      `json:"protocol"`
+	Duration float64     `json:"sim_duration_s"`
+	Results  []scaleCell `json:"results"`
+}
+
+// runScale executes the simulator-throughput sweep the scale benchmarks
+// are built on: a vehicles × density grid of flooding (or any protocol)
+// runs, timed wall-clock. The highway length scales with the vehicle count
+// so each density column holds vehicles-per-km constant — doubling n
+// doubles the world instead of compressing it. Runs execute sequentially
+// so per-run timings aren't polluted by sibling runs.
+func runScale(args []string) error {
+	fs := flag.NewFlagSet("vanetbench scale", flag.ContinueOnError)
+	var (
+		protocol  = fs.String("protocol", "Flooding", "protocol to scale")
+		vehicles  = fs.String("vehicles", "100,200,500,1000", "comma-separated vehicle counts")
+		densities = fs.String("densities", "100", "comma-separated densities in vehicles/km")
+		seeds     = fs.Int("seeds", 1, "replication seeds per cell")
+		seed0     = fs.Int64("seed", 1, "first replication seed")
+		duration  = fs.Float64("duration", 20, "simulated seconds per run")
+		jsonOut   = fs.String("json", "", "write a machine-readable report to this file")
+	)
+	startProfiles := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "vanetbench:", perr)
+		}
+	}()
+	counts, err := splitInts(*vehicles)
+	if err != nil {
+		return fmt.Errorf("scale: -vehicles: %w", err)
+	}
+	dens, err := splitFloats(*densities)
+	if err != nil {
+		return fmt.Errorf("scale: -densities: %w", err)
+	}
+	if len(counts) == 0 || len(dens) == 0 || *seeds < 1 {
+		return fmt.Errorf("scale: need at least one vehicle count, one density, and one seed")
+	}
+	for _, v := range counts {
+		if v < 2 {
+			return fmt.Errorf("scale: -vehicles: count %d below the 2 needed for a flow", v)
+		}
+	}
+	for _, d := range dens {
+		if d <= 0 {
+			return fmt.Errorf("scale: -densities: density must be positive, got %g", d)
+		}
+	}
+
+	rep := scaleReport{Protocol: *protocol, Duration: *duration}
+	tab := &relroute.Table{
+		ID:      "scale",
+		Title:   fmt.Sprintf("%s simulator throughput (vehicles × density, %d seed(s))", *protocol, *seeds),
+		Columns: []string{"vehicles", "veh/km", "length(m)", "mean ms/run", "min ms/run", "PDR"},
+	}
+	for _, d := range dens {
+		for _, v := range counts {
+			length := float64(v) / d * 1000
+			cell := scaleCell{Vehicles: v, DensityKm: d, LengthM: length, Seeds: *seeds, MinMs: math.Inf(1)}
+			var pdrSum float64
+			for s := 0; s < *seeds; s++ {
+				opts := relroute.Options{
+					Seed: *seed0 + int64(s), Vehicles: v,
+					HighwayLength: length, Duration: *duration,
+					Flows: 2, FlowPackets: 5,
+				}
+				t0 := time.Now()
+				sum, err := relroute.Run(*protocol, opts)
+				if err != nil {
+					return fmt.Errorf("scale: %d vehicles at %g veh/km: %w", v, d, err)
+				}
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				cell.MeanMs += ms
+				cell.MinMs = math.Min(cell.MinMs, ms)
+				pdrSum += sum.PDR
+			}
+			cell.MeanMs /= float64(*seeds)
+			cell.PDR = pdrSum / float64(*seeds)
+			rep.Results = append(rep.Results, cell)
+			tab.AddRow(
+				strconv.Itoa(v),
+				fmt.Sprintf("%g", d),
+				fmt.Sprintf("%.0f", length),
+				fmt.Sprintf("%.1f", cell.MeanMs),
+				fmt.Sprintf("%.1f", cell.MinMs),
+				fmt.Sprintf("%.1f%%", cell.PDR*100),
+			)
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("%g simulated seconds per run; wall-clock timings, sequential execution", *duration))
+	tab.Render(os.Stdout)
+	if *jsonOut != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("scale: %w", err)
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			return fmt.Errorf("scale: %w", err)
+		}
+	}
+	return nil
+}
+
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fmtCI(s relroute.Stat, pct bool) string {

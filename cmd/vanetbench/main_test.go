@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -48,5 +53,45 @@ func TestSweepRejectsBadGrid(t *testing.T) {
 	}
 	if err := runSweep([]string{"-protocols", ""}); err == nil {
 		t.Fatal("empty protocol list accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "scale.json")
+	err := runScale([]string{
+		"-vehicles", "10,15", "-densities", "50", "-seeds", "1",
+		"-duration", "5", "-json", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scaleReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("scale JSON does not parse: %v", err)
+	}
+	if rep.Protocol != "Flooding" || len(rep.Results) != 2 {
+		t.Fatalf("report = %+v, want 2 Flooding cells", rep)
+	}
+	for _, c := range rep.Results {
+		if c.MeanMs <= 0 || c.MinMs <= 0 || c.LengthM <= 0 {
+			t.Fatalf("cell not populated: %+v", c)
+		}
+	}
+}
+
+func TestScaleRejectsBadGrid(t *testing.T) {
+	if err := runScale([]string{"-vehicles", "ten"}); err == nil {
+		t.Fatal("non-numeric vehicle list accepted")
+	}
+	if err := runScale([]string{"-densities", "0"}); err == nil {
+		t.Fatal("zero density accepted")
+	}
+	if err := runScale([]string{"-vehicles", "1"}); err == nil {
+		t.Fatal("single-vehicle world accepted")
 	}
 }

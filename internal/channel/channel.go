@@ -27,6 +27,28 @@ type Model interface {
 	MeanRange() float64
 }
 
+// Precomputed is implemented by models whose per-receiver reception
+// decision splits into a deterministic per-distance term and a cheap
+// stochastic decision. The deterministic term — the link budget at a given
+// distance — is what the radio neighborhood cache precomputes once per
+// mobility epoch, so the MAC's transmit loop never re-runs the path-loss
+// math (Log10/Erfc) per frame.
+//
+// The contract is strict: DecodableAt(PathLoss(d), rng) must consume
+// exactly the same RNG draws and return exactly the same result as
+// Decodable(d, rng) for every d, so the cached and uncached transmit paths
+// are byte-identical run for run (the golden-file tests rely on this).
+type Precomputed interface {
+	// PathLoss returns the deterministic part of the link budget at
+	// distance d. The value is opaque to callers and only meaningful to
+	// DecodableAt of the same model: UnitDisk returns the distance itself,
+	// Shadowing folds the log-distance path loss through the receiver
+	// threshold into a receipt probability.
+	PathLoss(d float64) float64
+	// DecodableAt decides reception from a value PathLoss returned.
+	DecodableAt(loss float64, rng *rand.Rand) bool
+}
+
 // UnitDisk is the idealised model: every frame within Range is received,
 // nothing beyond. It keeps analytic results exact, so the Fig. 3 lifetime
 // validation uses it.
@@ -44,6 +66,15 @@ func (u UnitDisk) MeanRange() float64 { return u.Range }
 
 // Decodable implements Model.
 func (u UnitDisk) Decodable(d float64, _ *rand.Rand) bool { return d <= u.Range }
+
+var _ Precomputed = UnitDisk{}
+
+// PathLoss implements Precomputed: the unit disk's only link-budget input
+// is the distance itself.
+func (u UnitDisk) PathLoss(d float64) float64 { return d }
+
+// DecodableAt implements Precomputed.
+func (u UnitDisk) DecodableAt(loss float64, _ *rand.Rand) bool { return loss <= u.Range }
 
 // RSSI implements Model with a deterministic log-distance curve so RSSI
 // ordering still reflects distance.
@@ -107,16 +138,32 @@ func (s *Shadowing) MaxRange() float64 { return s.maxRange }
 func (s *Shadowing) MeanRange() float64 { return s.Receipt.MedianRange() }
 
 // Decodable implements Model: Bernoulli draw with the distance-dependent
-// receipt probability.
+// receipt probability. Defined as the composition of the Precomputed pair
+// so the split API can never drift from it.
 func (s *Shadowing) Decodable(d float64, rng *rand.Rand) bool {
-	p := s.Receipt.Prob(d)
-	if p >= 1 {
+	return s.DecodableAt(s.PathLoss(d), rng)
+}
+
+var _ Precomputed = (*Shadowing)(nil)
+
+// PathLoss implements Precomputed. The whole deterministic chain — mean
+// path loss at d, received power, threshold margin — folds into a single
+// number, the receipt probability, so it is returned directly: caching it
+// leaves only a uniform draw per frame. (Comparing a Gaussian shadowing
+// sample against the threshold would be distribution-equivalent but would
+// consume different RNG draws than Decodable; see the interface contract.)
+func (s *Shadowing) PathLoss(d float64) float64 { return s.Receipt.Prob(d) }
+
+// DecodableAt implements Precomputed: the stochastic tail of Decodable,
+// draw for draw.
+func (s *Shadowing) DecodableAt(loss float64, rng *rand.Rand) bool {
+	if loss >= 1 {
 		return true
 	}
-	if p <= 0 {
+	if loss <= 0 {
 		return false
 	}
-	return rng.Float64() < p
+	return rng.Float64() < loss
 }
 
 // RSSI implements Model: mean path-loss power plus a shadowing draw.

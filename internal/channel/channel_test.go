@@ -101,3 +101,37 @@ func TestShadowingRSSIVariance(t *testing.T) {
 		t.Fatalf("RSSI(nil rng) = %v, want mean %v", got, mean)
 	}
 }
+
+// TestPrecomputedContract pins the split-API guarantee for both models:
+// DecodableAt(PathLoss(d), rng) must return the same verdict and consume
+// the same RNG draws as Decodable(d, rng) at every distance — that
+// equivalence is what makes the epoch-cached transmit path byte-identical
+// to a per-frame evaluation.
+func TestPrecomputedContract(t *testing.T) {
+	models := map[string]Model{
+		"unitdisk":  UnitDisk{Range: 250},
+		"shadowing": NewShadowing(prob.DefaultReceiptModel()),
+	}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			pre, ok := m.(Precomputed)
+			if !ok {
+				t.Fatalf("%s does not implement Precomputed", name)
+			}
+			rngA := rand.New(rand.NewSource(42))
+			rngB := rand.New(rand.NewSource(42))
+			for d := 0.0; d < 1200; d += 0.7 {
+				split := pre.DecodableAt(pre.PathLoss(d), rngA)
+				direct := m.Decodable(d, rngB)
+				if split != direct {
+					t.Fatalf("d=%v: split verdict %v, direct %v", d, split, direct)
+				}
+			}
+			for i := 0; i < 8; i++ {
+				if a, b := rngA.Float64(), rngB.Float64(); a != b {
+					t.Fatalf("RNG streams diverged: split path consumed different draws")
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/vanetlab/relroute/internal/channel"
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/radio"
 	"github.com/vanetlab/relroute/internal/sim"
 	"github.com/vanetlab/relroute/internal/spatial"
 )
@@ -21,7 +22,7 @@ func BenchmarkBroadcastStorm(b *testing.B) {
 	eng := sim.NewEngine(1)
 	grid := spatial.NewGrid(250)
 	col := metrics.NewCollector()
-	layer := NewLayer(eng, channel.UnitDisk{Range: 250}, grid, Config{}, col,
+	layer := NewLayer(eng, radio.NewCache(grid, channel.UnitDisk{Range: 250}), Config{}, col,
 		func(to int32, f Frame) {}, nil)
 	for i := int32(0); i < nodes; i++ {
 		grid.Update(i, geom.V(float64(i)*20, 0))
@@ -50,7 +51,7 @@ func BenchmarkUnicastARQ(b *testing.B) {
 	eng := sim.NewEngine(1)
 	grid := spatial.NewGrid(250)
 	col := metrics.NewCollector()
-	layer := NewLayer(eng, channel.UnitDisk{Range: 250}, grid, Config{LinkRetries: 4}, col,
+	layer := NewLayer(eng, radio.NewCache(grid, channel.UnitDisk{Range: 250}), Config{LinkRetries: 4}, col,
 		func(to int32, f Frame) {}, nil)
 	grid.Update(0, geom.V(0, 0))
 	grid.Update(1, geom.V(5000, 0))

@@ -11,15 +11,21 @@
 // lives in a dense slice keyed by node ID, and transmit queues are ring
 // buffers. The simulation engine is single-threaded, so the free lists
 // need no synchronisation.
+//
+// The transmit path is amortized over mobility epochs: candidate
+// receivers, their distances, and the deterministic part of the link
+// budget come from the shared radio.Cache instead of a per-frame grid
+// scan, and a frame's receptions are resolved by one end-of-airtime event
+// at the sender instead of one event per receiver. Both transformations
+// are exactly order-preserving — see transmit and finishTx.
 package mac
 
 import (
 	"math/rand"
 
-	"github.com/vanetlab/relroute/internal/channel"
 	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/radio"
 	"github.com/vanetlab/relroute/internal/sim"
-	"github.com/vanetlab/relroute/internal/spatial"
 )
 
 // Broadcast is the link-layer broadcast address.
@@ -93,12 +99,11 @@ func (c Config) linkRetries() int {
 }
 
 // reception tracks one in-flight frame arriving at one receiver. Records
-// are pooled by the layer; seq is a creation stamp used to match finish
-// events to receptions (events fire in exactly (end, seq) order).
+// are pooled by the layer. The sender keeps the frame and the receiver
+// list, so a record only carries what carrier sense and collision marking
+// need: when the airtime ends and how the channel treated it.
 type reception struct {
-	frame    Frame
 	end      float64
-	seq      uint64
 	decoded  bool // channel draw said the frame is decodable
 	collided bool
 }
@@ -151,61 +156,11 @@ func (d *frameDeque) popFront() Frame {
 	return f
 }
 
-// recHeap is a min-heap of receptions ordered by (end, seq) — the exact
-// order their finish events fire in, so the root is always the reception
-// the current finish event belongs to. The backing slice is reused.
-type recHeap []*reception
-
-func recBefore(a, b *reception) bool {
-	if a.end != b.end {
-		return a.end < b.end
-	}
-	return a.seq < b.seq
-}
-
-func (h *recHeap) push(r *reception) {
-	*h = append(*h, r)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !recBefore(s[i], s[parent]) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *recHeap) popMin() *reception {
-	s := *h
-	n := len(s)
-	if n == 0 {
-		return nil
-	}
-	root := s[0]
-	n--
-	s[0] = s[n]
-	s[n] = nil
-	s = s[:n]
-	i := 0
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		smallest := left
-		if right := left + 1; right < n && recBefore(s[right], s[left]) {
-			smallest = right
-		}
-		if !recBefore(s[smallest], s[i]) {
-			break
-		}
-		s[i], s[smallest] = s[smallest], s[i]
-		i = smallest
-	}
-	*h = s
-	return root
+// txRec pairs an in-flight reception with its receiver, in creation order,
+// so the sender's single end-of-airtime event can resolve the whole frame.
+type txRec struct {
+	rx  int32
+	rec *reception
 }
 
 // nodeState is the per-node MAC state.
@@ -214,18 +169,17 @@ type nodeState struct {
 	sending bool
 	txUntil float64      // sender busy until (own transmission)
 	active  []*reception // receptions currently audible at this node (carrier sense)
-	pending recHeap      // receptions awaiting their end-of-airtime event
 	retries int
 
 	// in-flight transmission state; a node transmits one frame at a time
 	// (sending serialises), so it lives here instead of in a closure.
 	txFrame      Frame
+	txRecs       []txRec    // this frame's receptions, in creation order
 	txUnicastRec *reception // addressed receiver's reception, until resolved
 	txUnicastOK  bool       // outcome copied at reception resolution
 
 	// pre-bound engine callbacks, created once per node
 	attemptFn  func()
-	finishRxFn func()
 	finishTxFn func()
 }
 
@@ -233,8 +187,7 @@ type nodeState struct {
 // the collision bookkeeping.
 type Layer struct {
 	eng     *sim.Engine
-	ch      channel.Model
-	grid    *spatial.Grid
+	radio   *radio.Cache
 	cfg     Config
 	rng     *rand.Rand
 	col     *metrics.Collector
@@ -242,20 +195,19 @@ type Layer struct {
 	fail    func(from int32, f Frame)
 	done    func(f Frame)
 	nodes   []*nodeState // dense, keyed by node id
-	scratch []int32
 	recFree []*reception
-	recSeq  uint64
 }
 
-// NewLayer wires the MAC to the engine, channel, spatial index and metrics
+// NewLayer wires the MAC to the engine, the shared radio link cache
+// (which carries the channel model and spatial index), and the metrics
 // collector. deliver is the upcall invoked for every successfully received
 // frame; fail is invoked at the sender when a unicast frame is dropped
 // without the addressed receiver decoding it — ARQ exhaustion or a
 // busy-medium (congestion) drop, the 802.11 "transmission failure"
 // indication upper layers key link-break detection on. fail may be nil.
-func NewLayer(eng *sim.Engine, ch channel.Model, grid *spatial.Grid, cfg Config, col *metrics.Collector, deliver func(to int32, f Frame), fail func(from int32, f Frame)) *Layer {
+func NewLayer(eng *sim.Engine, rc *radio.Cache, cfg Config, col *metrics.Collector, deliver func(to int32, f Frame), fail func(from int32, f Frame)) *Layer {
 	return &Layer{
-		eng: eng, ch: ch, grid: grid, cfg: cfg,
+		eng: eng, radio: rc, cfg: cfg,
 		rng: eng.Rand(), col: col, deliver: deliver, fail: fail,
 	}
 }
@@ -284,7 +236,6 @@ func (l *Layer) state(id int32) *nodeState {
 	if st == nil {
 		st = &nodeState{}
 		st.attemptFn = func() { l.attempt(id) }
-		st.finishRxFn = func() { l.finishReception(id) }
 		st.finishTxFn = func() { l.finishTx(id) }
 		l.nodes[id] = st
 	}
@@ -292,7 +243,7 @@ func (l *Layer) state(id int32) *nodeState {
 }
 
 // newReception takes a record from the pool.
-func (l *Layer) newReception(f Frame, end float64, decoded bool) *reception {
+func (l *Layer) newReception(end float64, decoded bool) *reception {
 	var rec *reception
 	if n := len(l.recFree); n > 0 {
 		rec = l.recFree[n-1]
@@ -300,16 +251,15 @@ func (l *Layer) newReception(f Frame, end float64, decoded bool) *reception {
 	} else {
 		rec = &reception{}
 	}
-	l.recSeq++
-	*rec = reception{frame: f, end: end, decoded: decoded, seq: l.recSeq}
+	*rec = reception{end: end, decoded: decoded}
 	return rec
 }
 
 // releaseReception returns a resolved record to the pool. No reference may
-// outlive this call: the record is removed from both per-node lists and the
-// sender's ARQ outcome has been copied out before release.
+// outlive this call: the record is removed from the receiver's
+// carrier-sense list and the sender's ARQ outcome has been copied out
+// before release.
 func (l *Layer) releaseReception(rec *reception) {
-	rec.frame = Frame{}
 	l.recFree = append(l.recFree, rec)
 }
 
@@ -369,113 +319,82 @@ func (l *Layer) attempt(id int32) {
 }
 
 // mediumBusy reports whether the node senses ongoing traffic: its own
-// transmission or any audible reception.
+// transmission or any audible reception. Entries whose airtime ends at
+// exactly now do not count as busy; they are removed by their frame's
+// resolution event at this same instant, so the active list never needs
+// compaction here — every reception leaves it at its end time.
 func (l *Layer) mediumBusy(st *nodeState) bool {
 	now := l.eng.Now()
 	if st.txUntil > now {
 		return true
 	}
-	l.pruneActive(st, now)
-	return len(st.active) > 0
-}
-
-func (l *Layer) pruneActive(st *nodeState, now float64) {
-	keep := st.active[:0]
 	for _, r := range st.active {
 		if r.end > now {
-			keep = append(keep, r)
+			return true
 		}
 	}
-	st.active = keep
+	return false
 }
 
-// transmit puts the frame on the air: for every candidate receiver within
-// the channel's maximum range the frame becomes an active reception; when
-// it ends, it is delivered unless a concurrent reception collided with it.
+// transmit puts the frame on the air: for every candidate receiver in the
+// sender's cached neighborhood the frame becomes an active reception; when
+// the airtime ends, it is delivered unless a concurrent reception collided
+// with it.
+//
+// The per-frame cost is one cached-slice walk: the radio.Cache already
+// holds the receiver IDs, distances, and deterministic link budgets for
+// the current mobility epoch, so no grid scan, position lookup, or
+// path-loss math runs here. The channel draw per receiver happens in
+// neighborhood order — identical to the order the uncached grid scan
+// produced — which keeps every RNG stream byte-identical.
 func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 	now := l.eng.Now()
 	airtime := float64(f.Size*8) / l.cfg.bitRate()
-	st.txUntil = now + airtime
+	end := now + airtime
+	st.txUntil = end
 	st.txFrame = f
 	st.txUnicastRec = nil
 	st.txUnicastOK = false
 	l.col.MACTransmits++
 
-	pos, ok := l.grid.Position(from)
-	if ok {
-		l.scratch = l.grid.Within(pos, l.ch.MaxRange(), l.scratch[:0])
-		for _, rx := range l.scratch {
-			if rx == from {
-				continue
-			}
-			rxPos, _ := l.grid.Position(rx)
-			d := rxPos.Dist(pos)
-			rec := l.newReception(f, now+airtime, l.ch.Decodable(d, l.rng))
-			rxState := l.state(rx)
-			l.pruneActive(rxState, now)
-			// any temporal overlap destroys both frames (no capture)
-			for _, other := range rxState.active {
+	for _, lk := range l.radio.Links(from) {
+		rec := l.newReception(end, l.radio.Decodable(lk, l.rng))
+		rxState := l.state(lk.To)
+		// any temporal overlap destroys both frames (no capture); entries
+		// ending exactly now don't overlap — they resolve this instant
+		for _, other := range rxState.active {
+			if other.end > now {
 				other.collided = true
 				rec.collided = true
 			}
-			rxState.active = append(rxState.active, rec)
-			rxState.pending.push(rec)
-			if f.To == rx {
-				st.txUnicastRec = rec
-			}
-			l.eng.After(airtime, rxState.finishRxFn)
+		}
+		rxState.active = append(rxState.active, rec)
+		st.txRecs = append(st.txRecs, txRec{rx: lk.To, rec: rec})
+		if f.To == lk.To {
+			st.txUnicastRec = rec
 		}
 	}
-	// After the airtime: resolve unicast ARQ, then start the next frame.
-	// Receiver-side finish events were scheduled first, so by the time this
-	// fires the addressed receiver's outcome is final.
+	// One event resolves the whole frame: all its receptions end at the
+	// same instant, and the engine fires same-time events in scheduling
+	// order, so the old one-event-per-receiver block [rx1..rxK, tx] always
+	// ran contiguously anyway — collapsing it into a single event preserves
+	// the exact upcall order while cutting K event-queue operations per
+	// frame.
 	l.eng.After(airtime, st.finishTxFn)
 }
 
-// finishReception resolves one reception at its end time. Finish events
-// fire in (end, creation-seq) order — exactly the order of the engine's
-// (time, FIFO) event ordering — so the event firing now belongs to the
-// pending heap's root.
-func (l *Layer) finishReception(rx int32) {
-	st := l.state(rx)
-	rec := st.pending.popMin()
-	if rec == nil {
-		return
-	}
-	// remove from the carrier-sense set (may already have been pruned)
-	for i, r := range st.active {
-		if r == rec {
-			st.active[i] = st.active[len(st.active)-1]
-			st.active = st.active[:len(st.active)-1]
-			break
-		}
-	}
-	switch {
-	case rec.collided && rec.decoded:
-		l.col.MACCollisions++
-	case !rec.decoded:
-		l.col.MACChannelLoss++
-	default:
-		l.col.MACDelivered++
-		l.deliver(rx, rec.frame)
-	}
-	// the sender may be awaiting this reception's outcome for unicast ARQ;
-	// copy it out before the record is recycled
-	if from := rec.frame.From; int(from) < len(l.nodes) {
-		if sst := l.nodes[from]; sst != nil && sst.txUnicastRec == rec {
-			sst.txUnicastOK = rec.decoded && !rec.collided
-			sst.txUnicastRec = nil
-		}
-	}
-	l.releaseReception(rec)
-}
-
 // finishTx runs at the sender when its transmission's airtime ends: resolve
-// unicast ARQ, then start the next queued frame.
+// every reception in creation order, then unicast ARQ, then start the next
+// queued frame.
 func (l *Layer) finishTx(from int32) {
 	st := l.state(from)
 	f := st.txFrame
 	st.txFrame = Frame{} // drop payload reference
+	for i, tr := range st.txRecs {
+		l.resolveReception(tr.rx, tr.rec, st, f)
+		st.txRecs[i] = txRec{}
+	}
+	st.txRecs = st.txRecs[:0]
 	st.txUnicastRec = nil
 	if f.To != Broadcast && !st.txUnicastOK {
 		if f.attempts < l.cfg.linkRetries() {
@@ -498,4 +417,33 @@ func (l *Layer) finishTx(from int32) {
 		return
 	}
 	l.scheduleAttempt(st)
+}
+
+// resolveReception settles one reception at its end time: remove it from
+// the receiver's carrier-sense set (it may already have been pruned),
+// classify it, deliver on success, and copy the outcome out for the
+// sender's unicast ARQ before the record is recycled.
+func (l *Layer) resolveReception(rx int32, rec *reception, sender *nodeState, f Frame) {
+	st := l.state(rx)
+	for i, r := range st.active {
+		if r == rec {
+			st.active[i] = st.active[len(st.active)-1]
+			st.active = st.active[:len(st.active)-1]
+			break
+		}
+	}
+	switch {
+	case rec.collided && rec.decoded:
+		l.col.MACCollisions++
+	case !rec.decoded:
+		l.col.MACChannelLoss++
+	default:
+		l.col.MACDelivered++
+		l.deliver(rx, f)
+	}
+	if sender.txUnicastRec == rec {
+		sender.txUnicastOK = rec.decoded && !rec.collided
+		sender.txUnicastRec = nil
+	}
+	l.releaseReception(rec)
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/vanetlab/relroute/internal/channel"
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/radio"
 	"github.com/vanetlab/relroute/internal/sim"
 	"github.com/vanetlab/relroute/internal/spatial"
 )
@@ -27,7 +28,7 @@ func newFixture(cfg Config, rangeM float64) *fixture {
 		col:  metrics.NewCollector(),
 		rxBy: make(map[int32][]Frame),
 	}
-	f.layer = NewLayer(f.eng, channel.UnitDisk{Range: rangeM}, f.grid, cfg, f.col,
+	f.layer = NewLayer(f.eng, radio.NewCache(f.grid, channel.UnitDisk{Range: rangeM}), cfg, f.col,
 		func(to int32, fr Frame) {
 			f.rx = append(f.rx, fr)
 			f.rxBy[to] = append(f.rxBy[to], fr)
@@ -74,6 +75,35 @@ func TestUnicastOnlyAddresseeGetsUpcall(t *testing.T) {
 	}
 	if len(f.rxBy[1]) != 1 {
 		t.Fatal("addressee did not receive")
+	}
+}
+
+func TestRemovedReceiverGetsNoReception(t *testing.T) {
+	// Regression: the pre-cache transmit loop ignored the ok return of
+	// grid.Position(rx), so a receiver the grid stopped tracking would
+	// have been received at a stale/zero position. A node that leaves the
+	// index — failure injection, despawn — must stop receiving immediately,
+	// even when the sender's neighborhood was cached while it was present.
+	f := newFixture(Config{}, 250)
+	f.grid.Update(0, geom.V(0, 0))
+	f.grid.Update(1, geom.V(100, 0))
+	f.layer.Send(Frame{From: 0, To: Broadcast, Size: 100}) // warms the cached neighborhood
+	if err := f.eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rxBy[1]) != 1 {
+		t.Fatalf("receiver got %d frames while present, want 1", len(f.rxBy[1]))
+	}
+	f.grid.Remove(1)
+	f.layer.Send(Frame{From: 0, To: Broadcast, Size: 100})
+	if err := f.eng.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rxBy[1]) != 1 {
+		t.Fatalf("removed node received a frame (got %d total)", len(f.rxBy[1]))
+	}
+	if f.col.MACTransmits != 2 {
+		t.Fatalf("transmits = %d, want 2", f.col.MACTransmits)
 	}
 }
 

@@ -13,6 +13,7 @@ package mobility
 import (
 	"math"
 	"math/rand"
+	"slices"
 
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/roadnet"
@@ -242,8 +243,11 @@ func (m *RoadModel) Advance(dt float64) {
 			v.laneCooldown -= dt
 		}
 	}
-	// 3. lane changes (after movement so gaps reflect fresh positions)
-	m.rebuildOrder()
+	// 3. lane changes (after movement so gaps reflect fresh positions).
+	// Integration never moves a vehicle across a (segment, lane) list, so
+	// membership is unchanged since the rebuild above — re-sorting the
+	// nearly-sorted lists in place is enough (and ~linear).
+	m.resortOrder()
 	for _, v := range m.vs {
 		if v == nil {
 			continue
@@ -310,9 +314,9 @@ func (m *RoadModel) nextSegment(v *vehicle) (roadnet.SegmentID, bool) {
 
 // rebuildOrder sorts vehicles per (segment, lane) by offset. Lane lists are
 // truncated and refilled in place (instead of reallocated) so their backing
-// arrays are reused tick after tick. The fill order is m.vs order (ascending
-// ID) and the sort is stable, so equal-offset vehicles order by ID — the
-// invariant gapAhead's tie-break relies on.
+// arrays are reused tick after tick. Equal-offset vehicles order by ID
+// because vehBefore breaks ties on ID (a total order — the sort need not be
+// stable), the invariant gapAhead's tie-break relies on.
 func (m *RoadModel) rebuildOrder() {
 	for k, list := range m.order {
 		if len(list) > 0 {
@@ -327,6 +331,18 @@ func (m *RoadModel) rebuildOrder() {
 		m.order[k] = append(m.order[k], v)
 	}
 	for _, list := range m.order {
+		sortVehicles(list)
+		for i, o := range list {
+			o.orderIdx = int32(i)
+		}
+	}
+}
+
+// resortOrder re-sorts the existing lane lists without re-bucketing. Valid
+// only while membership is unchanged since the last rebuildOrder; the
+// lists are then nearly sorted, so the insertion pass is ~linear.
+func (m *RoadModel) resortOrder() {
+	for _, list := range m.order {
 		insertionSortVehicles(list)
 		for i, o := range list {
 			o.orderIdx = int32(i)
@@ -334,12 +350,41 @@ func (m *RoadModel) rebuildOrder() {
 	}
 }
 
+// vehBefore is the lane-list order: by offset, ties broken by ID. It is a
+// total order (IDs are unique), so every sort below produces the same
+// list regardless of input permutation — which is what lets rebuildOrder
+// (ID-ordered input) and resortOrder (previous-tick order) coexist
+// deterministically.
+func vehBefore(a, b *vehicle) bool {
+	if a.offset != b.offset {
+		return a.offset < b.offset
+	}
+	return a.id < b.id
+}
+
 func insertionSortVehicles(list []*vehicle) {
 	for i := 1; i < len(list); i++ {
-		for j := i; j > 0 && list[j].offset < list[j-1].offset; j-- {
+		for j := i; j > 0 && vehBefore(list[j], list[j-1]); j-- {
 			list[j], list[j-1] = list[j-1], list[j]
 		}
 	}
+}
+
+// sortVehicles sorts a lane list from scratch. Rebuilds feed it ID-ordered
+// (i.e. effectively random by offset) input, where insertion sort alone is
+// quadratic — at 1,000 vehicles that was the single largest cost in the
+// whole simulation. vehBefore is a total order, so the unstable stdlib
+// sort still yields one unique permutation.
+func sortVehicles(list []*vehicle) {
+	slices.SortFunc(list, func(a, b *vehicle) int {
+		if vehBefore(a, b) {
+			return -1
+		}
+		if vehBefore(b, a) {
+			return 1
+		}
+		return 0
+	})
 }
 
 // gapAhead returns the bumper gap and speed of the leader in the given lane

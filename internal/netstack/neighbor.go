@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"math"
 	"sort"
 
 	"github.com/vanetlab/relroute/internal/geom"
@@ -26,12 +27,19 @@ type Neighbor struct {
 type NeighborTable struct {
 	entries map[NodeID]*Neighbor
 	ttl     float64
+	// oldest is a lower bound on the minimum LastSeen of any entry. The
+	// per-tick expiry sweep compares it against now before iterating: a
+	// table whose oldest possible entry is still fresh cannot hold anything
+	// to expire, which skips the map scan on almost every tick. Refreshing
+	// an entry may leave the bound stale-low; that only costs one full
+	// sweep, which recomputes it exactly.
+	oldest float64
 }
 
 // NewNeighborTable returns a table whose entries expire ttl seconds after
 // the last beacon.
 func NewNeighborTable(ttl float64) *NeighborTable {
-	return &NeighborTable{entries: make(map[NodeID]*Neighbor), ttl: ttl}
+	return &NeighborTable{entries: make(map[NodeID]*Neighbor), ttl: ttl, oldest: math.Inf(1)}
 }
 
 // Update inserts or refreshes an entry from a received beacon.
@@ -40,6 +48,9 @@ func (t *NeighborTable) Update(id NodeID, kind NodeKind, pos, vel geom.Vec2, rss
 	if !ok {
 		nb = &Neighbor{ID: id, MeanRSSI: rssi}
 		t.entries[id] = nb
+	}
+	if now < t.oldest {
+		t.oldest = now
 	}
 	nb.Kind = kind
 	nb.Pos = pos
@@ -86,13 +97,20 @@ func (t *NeighborTable) Snapshot() []Neighbor {
 
 // Expire removes entries not refreshed since now−ttl and returns their IDs.
 func (t *NeighborTable) Expire(now float64) []NodeID {
+	if now-t.oldest <= t.ttl {
+		return nil // even the oldest possible entry is still fresh
+	}
 	var gone []NodeID
+	min := math.Inf(1)
 	for id, nb := range t.entries {
 		if now-nb.LastSeen > t.ttl {
 			gone = append(gone, id)
 			delete(t.entries, id)
+		} else if nb.LastSeen < min {
+			min = nb.LastSeen
 		}
 	}
+	t.oldest = min
 	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
 	return gone
 }

@@ -114,8 +114,9 @@ func (a *API) After(d float64, fn func()) sim.TimerID { return a.world.eng.After
 // Cancel cancels a pending timer.
 func (a *API) Cancel(id sim.TimerID) { a.world.eng.Cancel(id) }
 
-// Rand returns this node's deterministic random stream.
-func (a *API) Rand() *rand.Rand { return a.node.rng }
+// Rand returns this node's deterministic random stream (materializing it
+// on first use; see node.random).
+func (a *API) Rand() *rand.Rand { return a.node.random() }
 
 // Metrics returns the run-wide collector.
 func (a *API) Metrics() *metrics.Collector { return a.world.col }

@@ -9,6 +9,7 @@ import (
 	"github.com/vanetlab/relroute/internal/mac"
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/mobility"
+	"github.com/vanetlab/relroute/internal/radio"
 	"github.com/vanetlab/relroute/internal/sim"
 	"github.com/vanetlab/relroute/internal/spatial"
 )
@@ -66,15 +67,29 @@ func (c Config) beaconSize() int {
 
 // node is the internal per-node record.
 type node struct {
-	id     NodeID
-	kind   NodeKind
-	router Router
-	nbrs   *NeighborTable
-	pos    geom.Vec2
-	vel    geom.Vec2
-	rng    *rand.Rand
-	vehID  mobility.VehicleID // -1 for static nodes
-	active bool
+	id      NodeID
+	kind    NodeKind
+	router  Router
+	nbrs    *NeighborTable
+	pos     geom.Vec2
+	vel     geom.Vec2
+	rngSeed int64              // drawn at addNode; see random
+	rng     *rand.Rand         // materialized on first draw
+	vehID   mobility.VehicleID // -1 for static nodes
+	active  bool
+}
+
+// random returns the node's private RNG stream, materializing it on first
+// use: seeding a math/rand generator costs ~600 mixing steps, and a node
+// that never draws (no beacons to jitter, no shadowing RSSI) should not
+// pay for one. The seed is drawn eagerly in addNode, so the root stream —
+// and with it every other component's stream — is byte-identical whether
+// or when this one materializes.
+func (n *node) random() *rand.Rand {
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(n.rngSeed))
+	}
+	return n.rng
 }
 
 // beacon is the HELLO payload.
@@ -92,6 +107,7 @@ type World struct {
 	model mobility.Model
 	grid  *spatial.Grid
 	ch    channel.Model
+	links *radio.Cache
 	mac   *mac.Layer
 	col   *metrics.Collector
 	nodes []*node
@@ -135,10 +151,20 @@ func NewWorld(cfg Config, model mobility.Model) *World {
 		ch:    ch,
 		col:   col,
 	}
-	w.mac = mac.NewLayer(eng, ch, w.grid, cfg.MAC, col, w.dispatch, w.txFailed)
+	// The radio link cache is the world's shared transmit fast path: the
+	// MAC resolves every frame (data and beacons alike) against it, and the
+	// world owns its invalidation — each mobility step's grid updates, plus
+	// incremental join/leave and failure injection, advance the grid epoch
+	// the cache keys on.
+	w.links = radio.NewCache(w.grid, ch)
+	w.mac = mac.NewLayer(eng, w.links, cfg.MAC, col, w.dispatch, w.txFailed)
 	w.mac.OnFrameDone(w.frameDone)
 	return w
 }
+
+// Radio exposes the shared per-epoch link cache (harness instrumentation
+// and tests; protocols must observe the world through beacons).
+func (w *World) Radio() *radio.Cache { return w.links }
 
 // getPacket takes a packet from the pool (or allocates one). Callers own
 // the result until they pass it to Send or Release.
@@ -257,9 +283,9 @@ func (w *World) addNode(kind NodeKind, pos, vel geom.Vec2, r Router, vehID mobil
 		id: id, kind: kind, router: r,
 		nbrs: NewNeighborTable(w.cfg.neighborTTL()),
 		pos:  pos, vel: vel,
-		rng:    w.eng.Rand(),
-		vehID:  vehID,
-		active: true,
+		rngSeed: w.eng.RandSeed(),
+		vehID:   vehID,
+		active:  true,
 	}
 	w.nodes = append(w.nodes, n)
 	if vehID >= 0 {
@@ -323,8 +349,8 @@ func (w *World) Run(duration float64) error {
 	if needBeacons {
 		for _, n := range w.nodes {
 			nn := n
-			phase := nn.rng.Float64() * w.cfg.beaconInterval()
-			w.eng.Ticker(phase, w.cfg.beaconInterval(), 0.1, nn.rng, func() {
+			phase := nn.random().Float64() * w.cfg.beaconInterval()
+			w.eng.Ticker(phase, w.cfg.beaconInterval(), 0.1, nn.random(), func() {
 				w.sendBeacon(nn)
 			})
 		}
@@ -342,7 +368,10 @@ func (w *World) Run(duration float64) error {
 }
 
 // step advances mobility and refreshes node kinematics and the spatial
-// index.
+// index. The grid updates below advance the grid epoch, which is what
+// invalidates every cached radio neighborhood: transmissions after this
+// tick rebuild (lazily, per transmitter) against the new positions, and
+// every transmission until the next tick reuses them.
 func (w *World) step(dt float64) {
 	w.stateBuf = w.model.StatesInto(w.stateBuf[:0])
 	for i := range w.stateBuf {
@@ -480,7 +509,7 @@ func (w *World) dispatch(to int32, f mac.Frame) {
 			return
 		}
 		d := n.pos.Dist(b.pos)
-		rssi := w.ch.RSSI(d, n.rng)
+		rssi := w.ch.RSSI(d, n.random())
 		nb := n.nbrs.Update(pkt.From, b.kind, b.pos, b.vel, rssi, w.eng.Now())
 		n.router.OnBeacon(*nb)
 		return

@@ -1,0 +1,34 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/prob"
+)
+
+// BenchmarkLinksHit measures the per-frame fast path: a cached
+// neighborhood query with no grid change since the last build.
+func BenchmarkLinksHit(b *testing.B) {
+	_, c := warmCache(channel.UnitDisk{Range: 250})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		c.Links(int32(n % 64))
+	}
+}
+
+// BenchmarkLinksRebuild measures the once-per-epoch slow path: every
+// iteration moves a node and rebuilds one neighborhood (64 nodes, ~16
+// receivers each under shadowing path-loss precomputation).
+func BenchmarkLinksRebuild(b *testing.B) {
+	model := channel.NewShadowing(prob.DefaultReceiptModel())
+	grid, c := warmCache(model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		grid.Update(0, geom.V(float64(n%100), 0))
+		c.Links(32)
+	}
+}

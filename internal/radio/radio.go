@@ -1,0 +1,139 @@
+// Package radio caches per-mobility-epoch link state between the spatial
+// index and the channel model: for every transmitter, the candidate
+// receiver list with precomputed distances and the deterministic part of
+// the channel's link budget at those distances.
+//
+// The MAC's transmit path used to be O(candidates) grid-scan + path-loss
+// math per frame; with beacon storms every node transmits every interval,
+// making that the dominant cost at city density. Positions only change at
+// mobility-tick boundaries (plus node join/leave), so all of it is a pure
+// function of the grid's epoch. The cache memoizes a node's neighborhood
+// the first time it transmits in an epoch and reuses it — one comparison
+// against spatial.Grid.Epoch — for every subsequent frame until the world
+// moves again. Large-scale VANET simulators (ns-3, Veins) amortize their
+// O(n²) transmit paths the same way.
+//
+// Determinism contract: Links lists candidates in exactly the order
+// spatial.Grid.Within returns them, with distances computed by the same
+// expression the uncached MAC used, and channel.Precomputed guarantees
+// DecodableAt(PathLoss(d)) consumes the same RNG draws as Decodable(d).
+// A cached transmit is therefore byte-identical to an uncached one — the
+// golden-file tests pin this.
+//
+// The cache is shared: the netstack world owns invalidation (its mobility
+// step's grid updates advance the epoch; join/leave and failure injection
+// advance it incrementally), the MAC consumes Links for every frame, and
+// beaconing rides the same cached neighborhoods since beacons are ordinary
+// MAC broadcasts.
+package radio
+
+import (
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/spatial"
+)
+
+// Link is one cached candidate receiver of a node's transmissions.
+type Link struct {
+	To   int32   // receiver node ID
+	Dist float64 // meters at the epoch the neighborhood was built
+	Loss float64 // channel.Precomputed.PathLoss(Dist); unset for plain Models
+}
+
+// Cache memoizes candidate receiver lists per transmitter. It is built
+// over a Grid and a channel Model once per world; the zero value is not
+// usable. Not safe for concurrent use — like every per-world structure,
+// it belongs to the single-threaded simulation engine.
+type Cache struct {
+	grid    *spatial.Grid
+	model   channel.Model
+	pre     channel.Precomputed // non-nil when model supports the split API
+	hoods   []hood              // dense, keyed by node ID
+	scratch []int32             // reused Within result buffer
+	builds  uint64              // rebuild counter (instrumentation/tests)
+}
+
+// hood is one node's cached neighborhood. epoch 0 means never built
+// (grid epochs are 1-based).
+type hood struct {
+	links []Link
+	epoch uint64
+}
+
+// NewCache returns a cache over the given index and propagation model.
+func NewCache(grid *spatial.Grid, model channel.Model) *Cache {
+	c := &Cache{grid: grid, model: model}
+	if pre, ok := model.(channel.Precomputed); ok {
+		c.pre = pre
+	}
+	return c
+}
+
+// Links returns the candidate receiver list for a transmission from id,
+// rebuilding it only if the grid changed since it was last built. A node
+// the grid does not track (left, failed, never joined) gets an empty list.
+// The returned slice is owned by the cache: it is valid until the next
+// Links call for the same id after a grid change, and must not be retained
+// or mutated.
+func (c *Cache) Links(id int32) []Link {
+	if id < 0 {
+		return nil
+	}
+	for int(id) >= len(c.hoods) {
+		c.hoods = append(c.hoods, hood{})
+	}
+	h := &c.hoods[id]
+	if e := c.grid.Epoch(); h.epoch != e {
+		c.rebuild(id, h)
+		h.epoch = e
+	}
+	return h.links
+}
+
+// rebuild recomputes one node's neighborhood from the grid, reusing the
+// backing arrays so steady-state rebuilds do not allocate.
+func (c *Cache) rebuild(id int32, h *hood) {
+	c.builds++
+	h.links = h.links[:0]
+	pos, ok := c.grid.Position(id)
+	if !ok {
+		return
+	}
+	c.scratch = c.grid.Within(pos, c.model.MaxRange(), c.scratch[:0])
+	for _, rx := range c.scratch {
+		if rx == id {
+			continue
+		}
+		rxPos, ok := c.grid.Position(rx)
+		if !ok {
+			// A receiver the grid no longer tracks must be skipped, never
+			// given a reception at a stale or zero position.
+			continue
+		}
+		d := rxPos.Dist(pos)
+		lk := Link{To: rx, Dist: d}
+		if c.pre != nil {
+			lk.Loss = c.pre.PathLoss(d)
+		}
+		h.links = append(h.links, lk)
+	}
+}
+
+// Decodable draws the stochastic part of the reception decision for a
+// cached link, consuming exactly the RNG draws Model.Decodable would for
+// the same distance.
+func (c *Cache) Decodable(lk Link, rng *rand.Rand) bool {
+	if c.pre != nil {
+		return c.pre.DecodableAt(lk.Loss, rng)
+	}
+	return c.model.Decodable(lk.Dist, rng)
+}
+
+// Builds returns how many neighborhood rebuilds have run — the number of
+// (node, epoch) pairs actually paid for, which tests compare against the
+// transmission count to prove amortization.
+func (c *Cache) Builds() uint64 { return c.builds }
+
+// Model returns the propagation model the cache decides receptions with.
+func (c *Cache) Model() channel.Model { return c.model }

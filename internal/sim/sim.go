@@ -48,8 +48,15 @@ func (e *Engine) Pending() int { return e.q.Len() }
 // MAC, mobility, each router) should take its own stream at construction
 // time so that adding randomness to one component does not perturb others.
 func (e *Engine) Rand() *rand.Rand {
-	return rand.New(rand.NewSource(e.root.Int63()))
+	return rand.New(rand.NewSource(e.RandSeed()))
 }
+
+// RandSeed draws the next stream seed from the root source without
+// building a generator. Seeding math/rand costs ~600 mixing steps, so
+// components whose stream may never be drawn from take a seed eagerly
+// (keeping the root stream, and therefore every other component's stream,
+// byte-identical) and materialize the generator on first use.
+func (e *Engine) RandSeed() int64 { return e.root.Int63() }
 
 // At schedules fn to run at absolute time at. Scheduling in the past is
 // clamped to "now" so callers don't silently lose events.

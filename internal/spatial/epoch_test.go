@@ -1,0 +1,46 @@
+package spatial
+
+import (
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+// TestEpoch pins the staleness signal the radio link cache keys on: the
+// epoch advances exactly when range-query results can change.
+func TestEpoch(t *testing.T) {
+	g := NewGrid(100)
+	e0 := g.Epoch()
+
+	g.Update(1, geom.V(10, 10)) // insert
+	if g.Epoch() == e0 {
+		t.Fatal("insert did not advance the epoch")
+	}
+	e1 := g.Epoch()
+
+	g.Update(1, geom.V(10, 10)) // no-op: same position
+	if g.Epoch() != e1 {
+		t.Fatal("stationary update advanced the epoch")
+	}
+
+	g.Update(1, geom.V(20, 10)) // same-cell move still changes distances
+	if g.Epoch() == e1 {
+		t.Fatal("same-cell move did not advance the epoch")
+	}
+	e2 := g.Epoch()
+
+	g.Update(1, geom.V(250, 10)) // cross-cell move
+	if g.Epoch() == e2 {
+		t.Fatal("cross-cell move did not advance the epoch")
+	}
+	e3 := g.Epoch()
+
+	g.Remove(99) // unknown item: no-op
+	if g.Epoch() != e3 {
+		t.Fatal("no-op removal advanced the epoch")
+	}
+	g.Remove(1)
+	if g.Epoch() == e3 {
+		t.Fatal("removal did not advance the epoch")
+	}
+}

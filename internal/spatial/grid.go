@@ -19,6 +19,7 @@ type Grid struct {
 	pos   []geom.Vec2 // indexed by id; valid iff present[id]
 	in    []bool      // present[id]: id is indexed
 	count int
+	epoch uint64 // advances on every geometric change; see Epoch
 }
 
 type cellKey struct{ cx, cy int32 }
@@ -33,11 +34,20 @@ func NewGrid(cellSize float64) *Grid {
 	return &Grid{
 		cell:  cellSize,
 		cells: make(map[cellKey][]int32),
+		epoch: 1, // 1-based so callers can use 0 as a "never seen" sentinel
 	}
 }
 
 // CellSize returns the configured cell edge length.
 func (g *Grid) CellSize() float64 { return g.cell }
+
+// Epoch returns a counter that advances whenever the indexed geometry
+// changes: an item is inserted, removed, or moved to a different position.
+// Range-query results are a pure function of the epoch, so callers (the
+// radio link cache) can memoize them and detect staleness with one
+// comparison instead of re-scanning. A no-op Update (same item, same
+// position) does not advance it.
+func (g *Grid) Epoch() uint64 { return g.epoch }
 
 // Len returns the number of indexed items.
 func (g *Grid) Len() int { return g.count }
@@ -64,6 +74,10 @@ func (g *Grid) Update(id int32, p geom.Vec2) {
 	}
 	g.grow(id)
 	if g.in[id] {
+		if g.pos[id] == p {
+			return // stationary item: geometry unchanged, epoch stays
+		}
+		g.epoch++
 		old := g.key(g.pos[id])
 		nk := g.key(p)
 		if old == nk {
@@ -72,6 +86,7 @@ func (g *Grid) Update(id int32, p geom.Vec2) {
 		}
 		g.removeFromCell(old, id)
 	} else {
+		g.epoch++
 		g.in[id] = true
 		g.count++
 	}
@@ -86,6 +101,7 @@ func (g *Grid) Remove(id int32) {
 	if id < 0 || int(id) >= len(g.in) || !g.in[id] {
 		return
 	}
+	g.epoch++
 	g.removeFromCell(g.key(g.pos[id]), id)
 	g.in[id] = false
 	g.count--
