@@ -45,23 +45,25 @@ func run(args []string) error {
 		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	var (
-		net *roadnet.Network
-		err error
-	)
+	var model *mobility.RoadModel
 	if *city {
-		net, err = roadnet.Grid(*gridN, *gridN, 400, 1, 14)
+		net, err := roadnet.Grid(*gridN, *gridN, 400, 1, 14)
+		if err != nil {
+			return err
+		}
+		model = mobility.NewRoadModel(net, rng, mobility.ContinueRandom)
+		mobility.Populate(model, rng, mobility.PopulateOptions{
+			Count: *vehicles, SpeedMean: *speed, SpeedStd: *speedStd,
+		})
 	} else {
-		net, _, _, err = roadnet.Highway(*length, 2, *speed+10)
+		var err error
+		model, err = mobility.NewHighwayModel(rng, *vehicles, *length, *speed, *speedStd)
+		if err != nil {
+			return err
+		}
 	}
-	if err != nil {
-		return err
-	}
-	model := mobility.NewRoadModel(net, rng, mobility.ContinueRandom)
-	mobility.Populate(model, rng, mobility.PopulateOptions{
-		Count: *vehicles, SpeedMean: *speed, SpeedStd: *speedStd,
-	})
 	if *buses > 0 {
+		net := model.Network()
 		var loop []roadnet.SegmentID
 		for i := 0; i < net.Segments(); i++ {
 			loop = append(loop, roadnet.SegmentID(i))

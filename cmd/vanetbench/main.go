@@ -245,15 +245,20 @@ func runSweep(args []string) error {
 }
 
 // scaleCell is one (vehicles, density) point of the scale sweep, averaged
-// over seeds.
+// over seeds. The churn fields are populated by -churn: the same cell run
+// as an open world with Poisson arrivals and lifetime-bounded departures.
 type scaleCell struct {
-	Vehicles  int     `json:"vehicles"`
-	DensityKm float64 `json:"density_veh_per_km"`
-	LengthM   float64 `json:"highway_length_m"`
-	Seeds     int     `json:"seeds"`
-	MeanMs    float64 `json:"mean_ms"`
-	MinMs     float64 `json:"min_ms"`
-	PDR       float64 `json:"pdr"`
+	Vehicles    int     `json:"vehicles"`
+	DensityKm   float64 `json:"density_veh_per_km"`
+	LengthM     float64 `json:"highway_length_m"`
+	Seeds       int     `json:"seeds"`
+	MeanMs      float64 `json:"mean_ms"`
+	MinMs       float64 `json:"min_ms"`
+	PDR         float64 `json:"pdr"`
+	ChurnMeanMs float64 `json:"churn_mean_ms,omitempty"`
+	ChurnPDR    float64 `json:"churn_pdr,omitempty"`
+	ChurnJoins  float64 `json:"churn_joins,omitempty"`
+	ChurnLeaves float64 `json:"churn_leaves,omitempty"`
 }
 
 // scaleReport is the -json document CI archives next to BENCH_core.json.
@@ -278,6 +283,7 @@ func runScale(args []string) error {
 		seeds     = fs.Int("seeds", 1, "replication seeds per cell")
 		seed0     = fs.Int64("seed", 1, "first replication seed")
 		duration  = fs.Float64("duration", 20, "simulated seconds per run")
+		churn     = fs.Bool("churn", false, "add an open-world churn column (Poisson arrivals + departures) per cell")
 		jsonOut   = fs.String("json", "", "write a machine-readable report to this file")
 	)
 	startProfiles := profileFlags(fs)
@@ -316,10 +322,14 @@ func runScale(args []string) error {
 	}
 
 	rep := scaleReport{Protocol: *protocol, Duration: *duration}
+	columns := []string{"vehicles", "veh/km", "length(m)", "mean ms/run", "min ms/run", "PDR"}
+	if *churn {
+		columns = append(columns, "churn ms/run", "churn PDR", "joins/leaves")
+	}
 	tab := &relroute.Table{
 		ID:      "scale",
 		Title:   fmt.Sprintf("%s simulator throughput (vehicles × density, %d seed(s))", *protocol, *seeds),
-		Columns: []string{"vehicles", "veh/km", "length(m)", "mean ms/run", "min ms/run", "PDR"},
+		Columns: columns,
 	}
 	for _, d := range dens {
 		for _, v := range counts {
@@ -344,15 +354,49 @@ func runScale(args []string) error {
 			}
 			cell.MeanMs /= float64(*seeds)
 			cell.PDR = pdrSum / float64(*seeds)
+			if *churn {
+				var churnPDR, joins, leaves float64
+				for s := 0; s < *seeds; s++ {
+					opts := relroute.Options{
+						Seed: *seed0 + int64(s), Vehicles: v,
+						HighwayLength: length, Duration: *duration,
+						Flows: 2, FlowPackets: 5,
+						// replace the population roughly once over the run
+						ArrivalRate:  float64(v) / *duration,
+						MeanLifetime: *duration / 2,
+					}
+					t0 := time.Now()
+					sum, err := relroute.Run(*protocol, opts)
+					if err != nil {
+						return fmt.Errorf("scale: churn %d vehicles at %g veh/km: %w", v, d, err)
+					}
+					cell.ChurnMeanMs += float64(time.Since(t0)) / float64(time.Millisecond)
+					churnPDR += sum.PDR
+					joins += float64(sum.Joins)
+					leaves += float64(sum.Leaves)
+				}
+				cell.ChurnMeanMs /= float64(*seeds)
+				cell.ChurnPDR = churnPDR / float64(*seeds)
+				cell.ChurnJoins = joins / float64(*seeds)
+				cell.ChurnLeaves = leaves / float64(*seeds)
+			}
 			rep.Results = append(rep.Results, cell)
-			tab.AddRow(
+			row := []string{
 				strconv.Itoa(v),
 				fmt.Sprintf("%g", d),
 				fmt.Sprintf("%.0f", length),
 				fmt.Sprintf("%.1f", cell.MeanMs),
 				fmt.Sprintf("%.1f", cell.MinMs),
 				fmt.Sprintf("%.1f%%", cell.PDR*100),
-			)
+			}
+			if *churn {
+				row = append(row,
+					fmt.Sprintf("%.1f", cell.ChurnMeanMs),
+					fmt.Sprintf("%.1f%%", cell.ChurnPDR*100),
+					fmt.Sprintf("%.0f/%.0f", cell.ChurnJoins, cell.ChurnLeaves),
+				)
+			}
+			tab.AddRow(row...)
 		}
 	}
 	tab.Notes = append(tab.Notes,

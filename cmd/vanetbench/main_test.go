@@ -84,6 +84,36 @@ func TestScale(t *testing.T) {
 	}
 }
 
+func TestScaleChurnColumn(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "scale_churn.json")
+	err := runScale([]string{
+		"-vehicles", "12", "-densities", "50", "-seeds", "1",
+		"-duration", "10", "-churn", "-json", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scaleReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("scale JSON does not parse: %v", err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+	c := rep.Results[0]
+	if c.ChurnMeanMs <= 0 {
+		t.Fatalf("churn column not timed: %+v", c)
+	}
+	if c.ChurnJoins == 0 || c.ChurnLeaves == 0 {
+		t.Fatalf("churn run had no membership changes: %+v", c)
+	}
+}
+
 func TestScaleRejectsBadGrid(t *testing.T) {
 	if err := runScale([]string{"-vehicles", "ten"}); err == nil {
 		t.Fatal("non-numeric vehicle list accepted")

@@ -5,7 +5,10 @@
 //
 //	vanetsim -proto TBP-SS -vehicles 60 -duration 60 -seed 1
 //	vanetsim -proto DRR -rsus 3 -vehicles 12 -length 3000
+//	vanetsim -proto TBP-SS -trace city.fcd.xml        # replay a SUMO FCD trace
+//	vanetsim -proto Greedy -scenario city-rush        # named scenario preset
 //	vanetsim -list
+//	vanetsim -list-scenarios
 package main
 
 import (
@@ -28,6 +31,11 @@ func run(args []string) error {
 	var (
 		proto     = fs.String("proto", "TBP-SS", "routing protocol (see -list)")
 		list      = fs.Bool("list", false, "list available protocols and exit")
+		listScen  = fs.Bool("list-scenarios", false, "list named scenarios and exit")
+		scen      = fs.String("scenario", "", "named scenario preset (see -list-scenarios)")
+		trace     = fs.String("trace", "", "replay this SUMO FCD trace file instead of synthetic mobility")
+		arrival   = fs.Float64("arrival", 0, "open-world Poisson arrival rate in vehicles/s (0 = closed world)")
+		lifetime  = fs.Float64("lifetime", 0, "mean vehicle lifetime in seconds for open-world runs (0 = stay to the end)")
 		seed      = fs.Int64("seed", 1, "random seed (same seed => identical run)")
 		vehicles  = fs.Int("vehicles", 60, "number of vehicles")
 		length    = fs.Float64("length", 2000, "highway length in meters")
@@ -52,12 +60,21 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *listScen {
+		descs := relroute.ScenarioDescriptions()
+		for _, name := range relroute.Scenarios() {
+			fmt.Printf("%-14s %s\n", name, descs[name])
+		}
+		return nil
+	}
 	opts := relroute.Options{
 		Seed: *seed, Vehicles: *vehicles, HighwayLength: *length,
 		SpeedMean: *speed, SpeedStd: *speedStd, Duration: *duration,
 		Flows: *flows, FlowPackets: *packets,
 		RSUs: *rsus, Buses: *buses, Shadowing: *shadowing, Range: *rng,
 		TicketBudget: *tickets,
+		Scenario:     *scen, TracePath: *trace,
+		ArrivalRate: *arrival, MeanLifetime: *lifetime,
 	}
 	if *city {
 		opts.Kind = relroute.CityKind
@@ -77,6 +94,9 @@ func run(args []string) error {
 	fmt.Printf("collisions %.2f%% of receptions\n", 100*sum.CollisionRate)
 	fmt.Printf("routes     %d discoveries, %d breaks, %d repairs\n",
 		sum.Discoveries, sum.Breaks, sum.Repairs)
+	if sum.Joins > 0 || sum.Leaves > 0 {
+		fmt.Printf("membership %d joined, %d left mid-run\n", sum.Joins, sum.Leaves)
+	}
 	if sum.PathLifetime > 0 {
 		fmt.Printf("path life  %.1fs predicted mean\n", sum.PathLifetime)
 	}

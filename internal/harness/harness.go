@@ -129,6 +129,8 @@ func registry() []Experiment {
 		{ID: "abl-tickets", Title: "ticket budget trade-off in TBP-SS (E-A5)", Run: AblationTickets},
 		{ID: "abl-hybrid", Title: "the conclusion's hybrid probability+mobility proposal (E-A6)", Run: AblationHybrid},
 		{ID: "abl-disaster", Title: "infrastructure damaged mid-run, Sec. V-A (E-A7)", Run: AblationDisaster},
+		{ID: "churn", Title: "open-world vehicle churn vs the closed-world assumption (E-S1)", Run: ScenarioChurn},
+		{ID: "trace-replay", Title: "end-to-end FCD trace replay through the playback model (E-S2)", Run: ScenarioTraceReplay},
 	}
 }
 

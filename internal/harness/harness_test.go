@@ -8,11 +8,12 @@ import (
 
 func TestAllExperimentsRegisteredAndRunnable(t *testing.T) {
 	exps := All()
-	if len(exps) != 14 {
+	if len(exps) != 16 {
 		t.Fatalf("registered experiments = %d", len(exps))
 	}
 	wantIDs := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1",
-		"abl-storm", "abl-regimes", "abl-lifetime", "abl-probvsgeo", "abl-tickets", "abl-hybrid", "abl-disaster"}
+		"abl-storm", "abl-regimes", "abl-lifetime", "abl-probvsgeo", "abl-tickets", "abl-hybrid", "abl-disaster",
+		"churn", "trace-replay"}
 	for _, id := range wantIDs {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)
@@ -241,4 +242,47 @@ func rowMap(t *Table) map[string]string {
 		}
 	}
 	return out
+}
+
+func TestScenarioChurnExperiment(t *testing.T) {
+	tab, err := ScenarioChurn(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 protocols × 2 worlds", len(tab.Rows))
+	}
+	// columns: protocol, world, PDR, delay, breaks, joins, leaves
+	for _, row := range tab.Rows {
+		joins, _ := strconv.Atoi(row[5])
+		leaves, _ := strconv.Atoi(row[6])
+		if row[1] == "closed" {
+			if joins != 0 || leaves != 0 {
+				t.Errorf("closed world churned: %v", row)
+			}
+			continue
+		}
+		if joins == 0 || leaves == 0 {
+			t.Errorf("open world without churn: %v", row)
+		}
+	}
+}
+
+func TestScenarioTraceReplayExperiment(t *testing.T) {
+	tab, err := ScenarioTraceReplay(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	delivered := false
+	for _, row := range tab.Rows {
+		if row[1] != "0.0%" {
+			delivered = true
+		}
+	}
+	if !delivered {
+		t.Fatal("no protocol delivered anything over the replayed trace")
+	}
 }

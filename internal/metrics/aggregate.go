@@ -74,6 +74,8 @@ type Aggregate struct {
 	DataForwarded Stat
 	MACTransmits  Stat
 	ControlTotal  Stat
+	Joins         Stat
+	Leaves        Stat
 }
 
 // AggregateSummaries folds per-seed summaries (typically one per
@@ -110,5 +112,7 @@ func AggregateSummaries(sums []Summary) Aggregate {
 		DataForwarded: col(func(s Summary) float64 { return float64(s.DataForwarded) }),
 		MACTransmits:  col(func(s Summary) float64 { return float64(s.MACTransmits) }),
 		ControlTotal:  col(func(s Summary) float64 { return float64(s.ControlTotal) }),
+		Joins:         col(func(s Summary) float64 { return float64(s.Joins) }),
+		Leaves:        col(func(s Summary) float64 { return float64(s.Leaves) }),
 	}
 }

@@ -38,6 +38,10 @@ type Collector struct {
 	RouteBreaks      int // links/routes detected broken
 	RouteRepairs     int // successful re-establishments
 
+	// open-world membership (zero in closed-world scenarios)
+	NodeJoins  int // nodes that joined the world mid-run
+	NodeLeaves int // nodes that left the world mid-run
+
 	delays    []float64 // seconds, one per delivered packet
 	hops      []int     // hop counts of delivered packets
 	pathLives []float64 // observed lifetimes of established paths
@@ -174,6 +178,10 @@ type Summary struct {
 	DataForwarded int
 	MACTransmits  int
 	ControlTotal  int
+	// Joins and Leaves count open-world membership changes: nodes that
+	// entered or left the world mid-run. Both are zero for closed worlds.
+	Joins  int
+	Leaves int
 	// Control is the per-type control transmission count (RREQ, RREP, ...),
 	// a copy of the collector's map.
 	Control map[string]int
@@ -205,6 +213,8 @@ func (c *Collector) Summarize(protocol, scenario string) Summary {
 		DataForwarded: c.DataForwarded,
 		MACTransmits:  c.MACTransmits,
 		ControlTotal:  c.ControlTotal(),
+		Joins:         c.NodeJoins,
+		Leaves:        c.NodeLeaves,
 		Control:       ctl,
 	}
 }

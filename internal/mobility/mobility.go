@@ -202,6 +202,24 @@ func (m *RoadModel) SetRoute(id VehicleID, route []roadnet.SegmentID) {
 	v.route = append(v.route[:0], route...)
 }
 
+// RemoveVehicle despawns a vehicle mid-run (open-world churn: a car
+// reaching its destination and parking, or leaving the simulated area).
+// The ID is never reused; the vehicle simply stops appearing in States.
+// It reports whether the vehicle was present.
+func (m *RoadModel) RemoveVehicle(id VehicleID) bool {
+	if id < 0 || int(id) >= len(m.vs) || m.vs[id] == nil {
+		return false
+	}
+	m.vs[id] = nil
+	return true
+}
+
+// Has reports whether the vehicle is currently active (spawned and not
+// despawned).
+func (m *RoadModel) Has(id VehicleID) bool {
+	return id >= 0 && int(id) < len(m.vs) && m.vs[id] != nil
+}
+
 // Len implements Model: the number of active (non-despawned) vehicles.
 func (m *RoadModel) Len() int {
 	n := 0

@@ -253,3 +253,47 @@ func TestDespawnPolicy(t *testing.T) {
 		t.Fatalf("vehicle not despawned at road end: %d left", m.Len())
 	}
 }
+
+func TestRemoveVehicleMidRun(t *testing.T) {
+	net, eb, _, err := roadnet.Highway(2000, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewRoadModel(net, rand.New(rand.NewSource(1)), ContinueRandom)
+	a := m.AddVehicle(eb, 0, 100, DefaultIDM(30), Car)
+	bID := m.AddVehicle(eb, 1, 300, DefaultIDM(25), Car)
+	m.Advance(0.1)
+	if !m.Has(a) || !m.Has(bID) {
+		t.Fatal("vehicles missing before removal")
+	}
+	if !m.RemoveVehicle(a) {
+		t.Fatal("RemoveVehicle reported absent vehicle")
+	}
+	if m.RemoveVehicle(a) {
+		t.Fatal("double removal succeeded")
+	}
+	if m.Has(a) {
+		t.Fatal("removed vehicle still present")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after removal", m.Len())
+	}
+	// the model keeps advancing and the removed ID never reappears
+	for i := 0; i < 50; i++ {
+		m.Advance(0.1)
+		for _, s := range m.States() {
+			if s.ID == a {
+				t.Fatal("removed vehicle reappeared in States")
+			}
+		}
+	}
+	// a vehicle spawned after the removal gets a fresh, never-reused ID
+	c := m.AddVehicle(eb, 0, 50, DefaultIDM(28), Car)
+	if c == a {
+		t.Fatal("vehicle ID reused after removal")
+	}
+	m.Advance(0.1)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after mid-run spawn", m.Len())
+	}
+}

@@ -21,10 +21,28 @@ type Track struct {
 	Class     Class
 }
 
+// Span returns the track's active window [first, last] — the times of its
+// first and last waypoint. Tracks with no waypoints return (0, -1), an
+// empty window.
+func (t *Track) Span() (first, last float64) {
+	if len(t.Waypoints) == 0 {
+		return 0, -1
+	}
+	return t.Waypoints[0].T, t.Waypoints[len(t.Waypoints)-1].T
+}
+
 // PlaybackModel replays recorded trajectories (e.g. parsed from a SUMO
 // floating-car-data export) as a mobility model, interpolating positions
-// linearly between waypoints. Vehicles outside their track's time span are
-// parked at the nearest endpoint.
+// linearly between waypoints.
+//
+// Every track has an active window: the closed interval from its first to
+// its last waypoint. Outside that window the vehicle does not exist —
+// StatesInto omits it, so a network stack polling the model sees the
+// vehicle join the world when its trace begins and leave when it ends,
+// exactly like a SUMO vehicle entering and completing its route. (Earlier
+// versions parked out-of-window vehicles at the nearest endpoint with zero
+// velocity, where they kept receiving and forwarding packets as phantom
+// relays.)
 type PlaybackModel struct {
 	tracks []Track
 	now    float64
@@ -43,8 +61,20 @@ func NewPlayback(tracks []Track) *PlaybackModel {
 	return &PlaybackModel{tracks: tracks}
 }
 
-// Len implements Model.
-func (m *PlaybackModel) Len() int { return len(m.tracks) }
+// Len implements Model: the number of vehicles currently inside their
+// active window.
+func (m *PlaybackModel) Len() int {
+	n := 0
+	for i := range m.tracks {
+		if first, last := m.tracks[i].Span(); m.now >= first && m.now <= last {
+			n++
+		}
+	}
+	return n
+}
+
+// Tracks returns the number of tracks, active or not.
+func (m *PlaybackModel) Tracks() int { return len(m.tracks) }
 
 // Advance implements Model.
 func (m *PlaybackModel) Advance(dt float64) { m.now += dt }
@@ -57,11 +87,14 @@ func (m *PlaybackModel) States() []State {
 	return m.StatesInto(make([]State, 0, len(m.tracks)))
 }
 
-// StatesInto implements Model.
+// StatesInto implements Model: it appends the state of every track whose
+// active window contains the current playback time. Vehicles before their
+// first or after their last waypoint are absent, not parked.
 func (m *PlaybackModel) StatesInto(dst []State) []State {
 	for i := range m.tracks {
 		tr := &m.tracks[i]
-		if len(tr.Waypoints) == 0 {
+		first, last := tr.Span()
+		if m.now < first || m.now > last {
 			continue
 		}
 		pos, vel, speed := interpolate(tr.Waypoints, m.now)

@@ -31,7 +31,11 @@ func TestPlaybackInterpolation(t *testing.T) {
 	}
 }
 
-func TestPlaybackClampsOutsideSpan(t *testing.T) {
+// TestPlaybackActiveWindows is the regression test for the "parked
+// phantom" bug: vehicles outside their [first, last] waypoint window used
+// to sit frozen at the endpoint with zero velocity and keep receiving and
+// forwarding packets. They must instead be absent from the state set.
+func TestPlaybackActiveWindows(t *testing.T) {
 	tracks := []Track{{
 		ID: 0,
 		Waypoints: []Waypoint{
@@ -40,12 +44,37 @@ func TestPlaybackClampsOutsideSpan(t *testing.T) {
 		},
 	}}
 	m := NewPlayback(tracks)
-	if s := m.States()[0]; s.Pos != geom.V(10, 10) || s.Speed != 0 {
-		t.Fatalf("pre-span state = %+v", s)
+	if got := m.States(); len(got) != 0 {
+		t.Fatalf("pre-span states = %+v, want vehicle absent", got)
 	}
-	m.Advance(100)
-	if s := m.States()[0]; s.Pos != geom.V(20, 10) || s.Speed != 0 {
-		t.Fatalf("post-span state = %+v", s)
+	if m.Len() != 0 {
+		t.Fatalf("pre-span Len = %d", m.Len())
+	}
+	m.Advance(5) // t = 5: window opens at the first waypoint
+	if got := m.States(); len(got) != 1 || got[0].Pos != geom.V(10, 10) {
+		t.Fatalf("window-open states = %+v", got)
+	}
+	m.Advance(10) // t = 15: last waypoint is still inside the window
+	if got := m.States(); len(got) != 1 || got[0].Pos != geom.V(20, 10) {
+		t.Fatalf("window-close states = %+v", got)
+	}
+	m.Advance(0.1) // t > 15: the vehicle has left the world
+	if got := m.States(); len(got) != 0 {
+		t.Fatalf("post-span states = %+v, want vehicle absent", got)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("post-span Len = %d", m.Len())
+	}
+}
+
+func TestTrackSpan(t *testing.T) {
+	tr := Track{Waypoints: []Waypoint{{T: 2}, {T: 7}}}
+	if first, last := tr.Span(); first != 2 || last != 7 {
+		t.Fatalf("span = [%v, %v]", first, last)
+	}
+	empty := Track{}
+	if first, last := empty.Span(); first <= last {
+		t.Fatalf("empty track span [%v, %v] not empty", first, last)
 	}
 }
 
@@ -76,8 +105,11 @@ func TestPlaybackEmptyTrackSkipped(t *testing.T) {
 	if got := len(m.States()); got != 1 {
 		t.Fatalf("states = %d, want empty track skipped", got)
 	}
-	if m.Len() != 2 {
-		t.Fatalf("len = %d", m.Len())
+	if m.Len() != 1 {
+		t.Fatalf("len = %d, want only the in-window track counted", m.Len())
+	}
+	if m.Tracks() != 2 {
+		t.Fatalf("tracks = %d", m.Tracks())
 	}
 }
 

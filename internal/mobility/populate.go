@@ -64,6 +64,25 @@ func Populate(m *RoadModel, rng *rand.Rand, opts PopulateOptions) []VehicleID {
 	return ids
 }
 
+// NewHighwayModel builds a bidirectional two-lane highway populated with
+// count vehicles scattered over the carriageways, model and scatter
+// sharing one rng stream. It is the canonical trace-generation pipeline:
+// cmd/tracegen, the harness trace-replay experiment, and the FCD
+// round-trip golden test all record from a model built here, so the
+// recording contract lives in exactly one place.
+func NewHighwayModel(rng *rand.Rand, count int, length, speedMean, speedStd float64) (*RoadModel, error) {
+	net, eb, wb, err := roadnet.Highway(length, 2, speedMean+10)
+	if err != nil {
+		return nil, err
+	}
+	m := NewRoadModel(net, rng, ContinueRandom)
+	Populate(m, rng, PopulateOptions{
+		Count: count, SpeedMean: speedMean, SpeedStd: speedStd,
+		Segments: []roadnet.SegmentID{eb, wb},
+	})
+	return m, nil
+}
+
 // AddBusLine places count buses evenly spaced along the route and pins
 // their route to loop over it, modelling Kitani's message ferries on
 // regular routes.

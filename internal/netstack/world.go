@@ -77,6 +77,12 @@ type node struct {
 	rng     *rand.Rand         // materialized on first draw
 	vehID   mobility.VehicleID // -1 for static nodes
 	active  bool
+	// open-world membership bookkeeping: seenStep is the last mobility step
+	// whose state snapshot contained this vehicle; left marks a node whose
+	// vehicle departed the mobility model (as opposed to failure injection,
+	// which clears active but not left).
+	seenStep uint64
+	left     bool
 }
 
 // random returns the node's private RNG stream, materializing it on first
@@ -113,6 +119,19 @@ type World struct {
 	nodes []*node
 	byVeh []*node // vehicle ID → node; vehicle IDs are dense from 0
 	uid   uint64
+
+	// open-world membership: when joinFactory is non-nil the world is
+	// open — vehicles appearing in the mobility model after the run
+	// started get a node (running a fresh router from the factory), and
+	// vehicles that disappear from the model have their node leave.
+	// stepSeq stamps each mobility step so leave detection is one flag
+	// comparison per node; beaconing records whether Run armed the HELLO
+	// substrate so joiners get their own beacon ticker.
+	joinFactory RouterFactory
+	stepSeq     uint64
+	beaconing   bool
+	joins       int
+	leaves      int
 
 	// idealised location service: last sampled kinematics, dense by node ID
 	locPos []geom.Vec2
@@ -228,10 +247,11 @@ func (w *World) nodeByID(id NodeID) *node {
 }
 
 // PositionOf returns the current true position of a node (harness
-// instrumentation; protocols should use beacons or LookupPosition).
+// instrumentation; protocols should use beacons or LookupPosition). A
+// node whose vehicle left the world has no position.
 func (w *World) PositionOf(id NodeID) (geom.Vec2, bool) {
 	n := w.nodeByID(id)
-	if n == nil {
+	if n == nil || n.left {
 		return geom.Vec2{}, false
 	}
 	return n.pos, true
@@ -240,7 +260,7 @@ func (w *World) PositionOf(id NodeID) (geom.Vec2, bool) {
 // VelocityOf returns the current true velocity of a node.
 func (w *World) VelocityOf(id NodeID) (geom.Vec2, bool) {
 	n := w.nodeByID(id)
-	if n == nil {
+	if n == nil || n.left {
 		return geom.Vec2{}, false
 	}
 	return n.vel, true
@@ -299,6 +319,35 @@ func (w *World) addNode(kind NodeKind, pos, vel geom.Vec2, r Router, vehID mobil
 	return id
 }
 
+// SetJoinFactory switches the world to open-world membership: vehicles
+// that appear in the mobility model after the run started are given a
+// node running a fresh router from factory (joining mid-run, with their
+// own beacon ticker when beaconing is armed), and vehicles that disappear
+// from the model have their node leave — removed from the spatial index
+// and silenced, so the radio cache, neighbor tables, and flows observe
+// the departure instead of a parked phantom. Call before Run.
+func (w *World) SetJoinFactory(factory RouterFactory) {
+	w.joinFactory = factory
+}
+
+// Joins returns how many nodes joined the world mid-run.
+func (w *World) Joins() int { return w.joins }
+
+// Leaves returns how many nodes left the world mid-run.
+func (w *World) Leaves() int { return w.leaves }
+
+// ActiveNodes returns the number of currently active nodes (joined, not
+// departed, not failure-injected).
+func (w *World) ActiveNodes() int {
+	n := 0
+	for _, nd := range w.nodes {
+		if nd.active {
+			n++
+		}
+	}
+	return n
+}
+
 // SetNodeActive enables or disables a node (failure injection). Disabled
 // nodes neither transmit nor receive and vanish from the spatial index.
 func (w *World) SetNodeActive(id NodeID, active bool) {
@@ -333,6 +382,39 @@ func (w *World) AddFlow(src, dst NodeID, start, interval float64, count, size in
 	}
 }
 
+// AddVehicleFlow schedules a CBR flow addressed by mobility vehicle IDs
+// instead of node IDs, resolving both endpoints at each packet's send
+// time. This is the flow primitive for open worlds: the endpoints may
+// not have joined yet when the flow is wired (a trace whose tracks start
+// mid-run), and packets are only originated while the source is an
+// active member and the destination has a known node.
+func (w *World) AddVehicleFlow(src, dst mobility.VehicleID, start, interval float64, count, size int) {
+	if count <= 0 {
+		return
+	}
+	for i := 0; i < count; i++ {
+		at := start + float64(i)*interval
+		w.eng.At(at, func() {
+			sn := w.vehicleNode(src)
+			dn := w.vehicleNode(dst)
+			if sn == nil || !sn.active || dn == nil {
+				return
+			}
+			w.col.OnDataSent()
+			sn.router.Originate(dn.id, size)
+		})
+	}
+}
+
+// vehicleNode maps a mobility vehicle ID to its node, nil if the vehicle
+// never joined.
+func (w *World) vehicleNode(id mobility.VehicleID) *node {
+	if id < 0 || int(id) >= len(w.byVeh) {
+		return nil
+	}
+	return w.byVeh[id]
+}
+
 // Run executes the simulation for duration seconds.
 func (w *World) Run(duration float64) error {
 	needBeacons := false
@@ -342,17 +424,19 @@ func (w *World) Run(duration float64) error {
 			break
 		}
 	}
+	if !needBeacons && w.joinFactory != nil && len(w.nodes) == 0 {
+		// an open world may start empty (a trace whose first track begins
+		// after t=0); probe a throwaway router so joiners still get beacons
+		needBeacons = w.joinFactory().NeedsBeacons()
+	}
 	// mobility + housekeeping tick
 	tick := w.cfg.tick()
 	w.eng.Ticker(0, tick, 0, nil, func() { w.step(tick) })
 	// per-node beaconing with phase jitter
+	w.beaconing = needBeacons
 	if needBeacons {
 		for _, n := range w.nodes {
-			nn := n
-			phase := nn.random().Float64() * w.cfg.beaconInterval()
-			w.eng.Ticker(phase, w.cfg.beaconInterval(), 0.1, nn.random(), func() {
-				w.sendBeacon(nn)
-			})
+			w.startBeacon(n)
 		}
 	}
 	// location service refresh
@@ -372,16 +456,33 @@ func (w *World) Run(duration float64) error {
 // invalidates every cached radio neighborhood: transmissions after this
 // tick rebuild (lazily, per transmitter) against the new positions, and
 // every transmission until the next tick reuses them.
+//
+// The same snapshot drives open-world membership: a state whose vehicle
+// has no node joins (when a join factory is set), and a vehicle node the
+// snapshot no longer contains leaves. Closed worlds never hit either
+// path, so the bookkeeping is two integer stamps per vehicle per tick.
 func (w *World) step(dt float64) {
+	w.stepSeq++
 	w.stateBuf = w.model.StatesInto(w.stateBuf[:0])
 	for i := range w.stateBuf {
 		s := &w.stateBuf[i]
-		if int(s.ID) >= len(w.byVeh) {
+		var n *node
+		if int(s.ID) < len(w.byVeh) {
+			n = w.byVeh[s.ID]
+		}
+		if n == nil {
+			if w.joinFactory != nil {
+				w.joinVehicle(s)
+			}
 			continue
 		}
-		n := w.byVeh[s.ID]
-		if n == nil {
-			continue
+		n.seenStep = w.stepSeq
+		if n.left {
+			// the vehicle re-entered the world (e.g. a gap in its trace)
+			n.left = false
+			n.active = true
+			w.joins++
+			w.col.NodeJoins++
 		}
 		n.pos = s.Pos
 		n.vel = s.Vel
@@ -390,6 +491,18 @@ func (w *World) step(dt float64) {
 		}
 	}
 	w.model.Advance(dt)
+	// departure sweep — only in open worlds (SetJoinFactory): an active
+	// vehicle node absent from this step's snapshot left the mobility
+	// model (trace window closed, lifetime expired, drove off the map).
+	// Worlds that never opted into open membership keep the legacy
+	// fixed-population behaviour and report zero joins/leaves.
+	if w.joinFactory != nil {
+		for _, n := range w.nodes {
+			if n.vehID >= 0 && n.active && n.seenStep != w.stepSeq {
+				w.leaveNode(n)
+			}
+		}
+	}
 	// neighbor expiry sweep
 	now := w.eng.Now()
 	for _, n := range w.nodes {
@@ -402,6 +515,37 @@ func (w *World) step(dt float64) {
 	}
 }
 
+// joinVehicle creates a node for a vehicle that entered the mobility model
+// mid-run, attaching a fresh router from the join factory and arming its
+// beacon ticker when the run beacons.
+func (w *World) joinVehicle(s *mobility.State) {
+	kind := Vehicle
+	if s.Class == mobility.Bus {
+		kind = BusNode
+	}
+	id := w.addNode(kind, s.Pos, s.Vel, w.joinFactory(), s.ID)
+	n := w.nodes[id]
+	n.seenStep = w.stepSeq
+	w.joins++
+	w.col.NodeJoins++
+	if w.beaconing {
+		w.startBeacon(n)
+	}
+}
+
+// leaveNode removes a departed vehicle's node from the world: it vanishes
+// from the spatial index (advancing the grid epoch, so every cached radio
+// neighborhood drops it) and neither transmits nor receives. Neighbor
+// entries pointing at it expire through the normal TTL sweep, surfacing
+// OnNeighborExpired to the protocols exactly like any other link break.
+func (w *World) leaveNode(n *node) {
+	n.left = true
+	n.active = false
+	w.grid.Remove(int32(n.id))
+	w.leaves++
+	w.col.NodeLeaves++
+}
+
 func (w *World) refreshLocations() {
 	for len(w.locPos) < len(w.nodes) {
 		w.locPos = append(w.locPos, geom.Vec2{})
@@ -411,19 +555,34 @@ func (w *World) refreshLocations() {
 	for _, n := range w.nodes {
 		w.locPos[n.id] = n.pos
 		w.locVel[n.id] = n.vel
-		w.locOK[n.id] = true
+		// departed vehicles age out of the directory at the next refresh
+		// instead of haunting it at their last position forever
+		w.locOK[n.id] = !n.left
 	}
 }
 
 func (w *World) lookupPosition(dst NodeID) (geom.Vec2, geom.Vec2, bool) {
 	if int(dst) >= len(w.locOK) || dst < 0 || !w.locOK[dst] {
 		n := w.nodeByID(dst)
-		if n == nil {
+		if n == nil || n.left {
 			return geom.Vec2{}, geom.Vec2{}, false
 		}
 		return n.pos, n.vel, true
 	}
 	return w.locPos[dst], w.locVel[dst], true
+}
+
+// startBeacon arms one node's HELLO ticker with a random phase and per-
+// period jitter, drawn from the node's private stream so beacon phases
+// never perturb any other component's randomness. The phase is relative
+// to now: for the t=0 population that is the classic absolute phase, and
+// for mid-run joiners it keeps their first beacons desynchronized
+// instead of clamping them all onto the join tick's timestamp.
+func (w *World) startBeacon(n *node) {
+	phase := n.random().Float64() * w.cfg.beaconInterval()
+	w.eng.Ticker(w.eng.Now()+phase, w.cfg.beaconInterval(), 0.1, n.random(), func() {
+		w.sendBeacon(n)
+	})
 }
 
 // sendBeacon broadcasts a HELLO for node n. Beacon packets (and their

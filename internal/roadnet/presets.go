@@ -39,10 +39,12 @@ func Highway(length float64, lanesPerDir int, speedLimit float64) (*Network, Seg
 
 // Grid builds an nx × ny Manhattan street grid with the given block spacing
 // in meters. Every street is two-way with the given number of lanes per
-// direction.
+// direction. Degenerate 1×N (or N×1) grids are allowed and produce a
+// straight two-way avenue of N−1 blocks; at least one dimension must be
+// ≥ 2 so the network has a segment.
 func Grid(nx, ny int, spacing float64, lanes int, speedLimit float64) (*Network, error) {
-	if nx < 2 || ny < 2 {
-		return nil, fmt.Errorf("roadnet: grid needs at least 2×2 junctions, got %d×%d", nx, ny)
+	if nx < 1 || ny < 1 || nx*ny < 2 {
+		return nil, fmt.Errorf("roadnet: grid needs at least 1×2 junctions, got %d×%d", nx, ny)
 	}
 	if spacing <= 0 {
 		return nil, fmt.Errorf("roadnet: grid spacing must be positive, got %v", spacing)

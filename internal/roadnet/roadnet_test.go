@@ -239,8 +239,9 @@ func TestGridPreset(t *testing.T) {
 	if _, dist, ok := n.ShortestPath(0, 8); !ok || math.Abs(dist-1600) > 1e-6 {
 		t.Fatalf("corner path dist = %v ok=%v", dist, ok)
 	}
-	if _, err := Grid(1, 3, 400, 1, 14); err == nil {
-		t.Error("1-wide grid accepted")
+	// 1-wide grids are a supported degenerate line (see TestGridEdgeCases)
+	if _, err := Grid(1, 3, 400, 1, 14); err != nil {
+		t.Errorf("1×3 line grid rejected: %v", err)
 	}
 	if _, err := Grid(3, 3, -1, 1, 14); err == nil {
 		t.Error("negative spacing accepted")
@@ -278,5 +279,84 @@ func TestBounds(t *testing.T) {
 	b := n.Bounds()
 	if !b.Contains(geom.V(0, 0)) || !b.Contains(geom.V(1000, 1000)) {
 		t.Fatalf("bounds = %+v", b)
+	}
+}
+
+func TestGridEdgeCases(t *testing.T) {
+	// a 1×N grid is a straight two-way avenue: N junctions, 2(N−1) segments
+	line, err := Grid(1, 5, 300, 1, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Junctions() != 5 {
+		t.Fatalf("1×5 junctions = %d", line.Junctions())
+	}
+	if line.Segments() != 8 {
+		t.Fatalf("1×5 segments = %d, want 2×(5−1)", line.Segments())
+	}
+	// the line must stay strongly connected: a path exists between the ends
+	if _, _, ok := line.ShortestPath(0, 4); !ok {
+		t.Fatal("no path along the 1×5 line")
+	}
+	if _, _, ok := line.ShortestPath(4, 0); !ok {
+		t.Fatal("no return path along the 1×5 line")
+	}
+	// N×1 is the transposed line
+	if row, err := Grid(5, 1, 300, 1, 14); err != nil {
+		t.Fatal(err)
+	} else if row.Segments() != 8 {
+		t.Fatalf("5×1 segments = %d", row.Segments())
+	}
+	// a single junction has no segments: rejected
+	if _, err := Grid(1, 1, 300, 1, 14); err == nil {
+		t.Fatal("1×1 grid accepted")
+	}
+	if _, err := Grid(0, 4, 300, 1, 14); err == nil {
+		t.Fatal("0×4 grid accepted")
+	}
+	// zero and negative spacing are rejected, not built degenerate
+	if _, err := Grid(3, 3, 0, 1, 14); err == nil {
+		t.Fatal("zero spacing accepted")
+	}
+	if _, err := Grid(3, 3, -50, 1, 14); err == nil {
+		t.Fatal("negative spacing accepted")
+	}
+}
+
+func TestNearestSegmentOnGridBoundaries(t *testing.T) {
+	n, err := Grid(3, 3, 100, 1, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a query exactly on a corner junction resolves to a segment touching
+	// that corner, with the offset at one of its ends
+	for _, corner := range []geom.Vec2{geom.V(0, 0), geom.V(200, 200), geom.V(0, 200), geom.V(200, 0)} {
+		sid, off := n.NearestSegment(corner)
+		seg := n.Segment(sid)
+		if seg == nil {
+			t.Fatalf("corner %v: nil segment", corner)
+		}
+		a := n.Junction(seg.From).Pos
+		b := n.Junction(seg.To).Pos
+		if a.Dist(corner) > 1e-9 && b.Dist(corner) > 1e-9 {
+			t.Errorf("corner %v resolved to segment %d (%v→%v) not touching it", corner, sid, a, b)
+		}
+		if off < -1e-9 || off > seg.Length()+1e-9 {
+			t.Errorf("corner %v: offset %v outside [0, %v]", corner, off, seg.Length())
+		}
+	}
+	// a query outside the grid clamps onto the boundary street
+	sid, off := n.NearestSegment(geom.V(-40, 150))
+	seg := n.Segment(sid)
+	mid := seg.PosAt(0, off)
+	if mid.X > 60 {
+		t.Errorf("outside-west query resolved deep inside the grid: %v (segment %d)", mid, sid)
+	}
+	// a query at a block center is equidistant from four streets and must
+	// still resolve deterministically to a valid segment
+	sid1, _ := n.NearestSegment(geom.V(50, 50))
+	sid2, _ := n.NearestSegment(geom.V(50, 50))
+	if sid1 != sid2 {
+		t.Errorf("block-center query not deterministic: %d vs %d", sid1, sid2)
 	}
 }

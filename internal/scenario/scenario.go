@@ -1,14 +1,27 @@
-// Package scenario assembles complete simulation runs: a road network, a
-// mobility model populated with vehicles (and optionally buses and RSUs),
-// a radio stack, one routing protocol instantiated on every node, and a
-// set of application flows. Every experiment in the harness is a grid of
-// scenarios built here, so protocol categories are compared on identical
-// worlds, seeds, and flows.
+// Package scenario assembles complete simulation runs from three
+// composable providers — a Topology (the road network), a Traffic source
+// (the vehicle population: closed-world scatter, open-world churn, or
+// trace playback), and a Workload (the application flows) — plus one
+// routing protocol instantiated on every node. Every experiment in the
+// harness is a grid of scenarios built here, so protocol categories are
+// compared on identical worlds, seeds, and flows.
+//
+// Scenarios come in three flavours:
+//
+//   - Options-driven: Build(protocol, Options{...}) composes the classic
+//     closed-world scenario the paper evaluates (the Options struct is a
+//     thin facade over the providers; equal options remain byte-identical
+//     to the pre-provider builder).
+//   - Named: Options.Scenario selects a registered preset ("city-rush",
+//     "highway-churn", ...) from the registry; see Names.
+//   - Trace-driven: Options.TracePath (or Options.Tracks) replays a SUMO
+//     FCD trace through a playback mobility model with open-world
+//     membership — vehicles join the world when their trace begins and
+//     leave when it ends.
 package scenario
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/vanetlab/relroute/internal/channel"
 	"github.com/vanetlab/relroute/internal/core"
@@ -35,6 +48,7 @@ import (
 	"github.com/vanetlab/relroute/internal/routing/rsu"
 	"github.com/vanetlab/relroute/internal/routing/taleb"
 	"github.com/vanetlab/relroute/internal/routing/zone"
+	"github.com/vanetlab/relroute/internal/traces"
 )
 
 // Protocols lists every runnable protocol name accepted by Build.
@@ -62,12 +76,35 @@ const (
 )
 
 // Options parameterise a scenario. Zero values take the defaults noted on
-// each field.
+// each field. Options is the compatibility facade over the provider API:
+// Build translates it into a Spec (topology, traffic source, workload),
+// and the translation of any pre-provider option set is draw-for-draw
+// identical to the old monolithic builder.
 type Options struct {
 	// Seed drives everything; equal seeds give byte-identical runs.
 	Seed int64
 	// Kind of topology (default HighwayKind).
 	Kind Kind
+	// Scenario selects a named preset from the registry (see Names) and
+	// overrides Kind; presets still honor the numeric options below.
+	Scenario string
+	// TracePath replays the SUMO FCD trace at this path instead of
+	// synthetic mobility (overrides Kind and Scenario). Vehicles enter
+	// the world when their trace begins and leave when it ends.
+	TracePath string
+	// Tracks replays in-memory trajectories; used when TracePath is
+	// empty. The slice is treated as read-only.
+	Tracks []mobility.Track
+	// ArrivalRate opens the world: a Poisson process spawning this many
+	// vehicles per second, with nodes joining the network mid-run. Zero
+	// keeps the classic fixed population.
+	ArrivalRate float64
+	// MeanLifetime is the mean exponential lifetime in seconds assigned
+	// to vehicles in open-world runs; expired vehicles despawn and their
+	// nodes leave. A positive value opens the world even when
+	// ArrivalRate is zero (departures without arrivals); zero keeps
+	// vehicles until the run ends.
+	MeanLifetime float64
 	// Vehicles to scatter (default 60).
 	Vehicles int
 	// HighwayLength in meters for highway/ring topologies (default 2000).
@@ -175,100 +212,77 @@ type Scenario struct {
 	Protocol string
 	World    *netstack.World
 	Net      *roadnet.Network
-	Model    *mobility.RoadModel
+	// Model is the mobility model driving the run.
+	Model mobility.Model
+	// Road is the model as a RoadModel when the traffic source is
+	// synthetic (nil for trace playback).
+	Road *mobility.RoadModel
+	// Segments are the topology's traffic segments (nil means all).
+	Segments []roadnet.SegmentID
+	// Tracks are the replayed trajectories of a trace scenario (nil
+	// otherwise); workloads use their active windows to wire flows
+	// between vehicles that only join mid-run.
+	Tracks   []mobility.Track
 	Vehicles []netstack.NodeID
 	RSUs     []netstack.NodeID
 	Opts     Options
+
+	// factory builds one router per node — workloads and open-world
+	// traffic sources use it for servers and mid-run joiners.
+	factory netstack.RouterFactory
 }
 
-// Build assembles a scenario running the named protocol.
+// Build assembles a scenario running the named protocol, translating the
+// options into providers: a trace (TracePath/Tracks) wins over a named
+// preset (Scenario), which wins over the Kind-selected closed world; a
+// positive ArrivalRate opens the Kind-selected world.
 func Build(protocol string, opts Options) (*Scenario, error) {
 	opts.setDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	net, segments, err := buildNetwork(opts)
+	spec, opts, err := specFromOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	model := mobility.NewRoadModel(net, rand.New(rand.NewSource(rng.Int63())), mobility.ContinueRandom)
-	mobility.Populate(model, rand.New(rand.NewSource(rng.Int63())), mobility.PopulateOptions{
-		Count:     opts.Vehicles,
-		SpeedMean: opts.SpeedMean,
-		SpeedStd:  opts.SpeedStd,
-		Segments:  segments,
-	})
-	if opts.Buses > 0 {
-		var loop []roadnet.SegmentID
-		for i := 0; i < net.Segments(); i++ {
-			loop = append(loop, roadnet.SegmentID(i))
-		}
-		mobility.AddBusLine(model, loop, opts.Buses, opts.SpeedMean*0.7)
-	}
-
-	ch := opts.Channel
-	if ch == nil {
-		if opts.Shadowing {
-			m := channelReceiptFor(opts.Range)
-			ch = channel.NewShadowing(m)
-		} else {
-			ch = channel.UnitDisk{Range: opts.Range}
-		}
-	}
-	world := netstack.NewWorld(netstack.Config{
-		Seed:    rng.Int63(),
-		Channel: ch,
-	}, model)
-
-	sc := &Scenario{
-		Name:     fmt.Sprintf("%s/%d-veh", kindName(opts.Kind), opts.Vehicles),
-		Protocol: protocol,
-		World:    world, Net: net, Model: model, Opts: opts,
-	}
-
-	factory, static, err := sc.protocolFactory(protocol)
-	if err != nil {
-		return nil, err
-	}
-	sc.Vehicles = world.AddVehicleNodes(factory)
-	if static != nil {
-		static(sc)
-	}
-	sc.addFlows(rand.New(rand.NewSource(opts.Seed + 7)))
-	return sc, nil
+	return BuildSpec(protocol, spec, opts)
 }
 
-func kindName(k Kind) string {
-	switch k {
-	case CityKind:
-		return "city"
-	case RingKind:
-		return "ring"
-	default:
-		return "highway"
+// specFromOptions resolves the facade options into a provider spec (and
+// possibly adjusted options, e.g. the trace's vehicle count).
+func specFromOptions(opts Options) (Spec, Options, error) {
+	tracks := opts.Tracks
+	if opts.TracePath != "" {
+		var err error
+		tracks, err = traces.ReadFile(opts.TracePath)
+		if err != nil {
+			return Spec{}, opts, fmt.Errorf("scenario: %w", err)
+		}
 	}
-}
-
-func buildNetwork(opts Options) (*roadnet.Network, []roadnet.SegmentID, error) {
-	switch opts.Kind {
-	case CityKind:
-		net, err := roadnet.Grid(opts.GridN, opts.GridN, 400, 1, 14)
-		if err != nil {
-			return nil, nil, fmt.Errorf("scenario: build city: %w", err)
-		}
-		return net, nil, nil
-	case RingKind:
-		net, err := roadnet.Ring(opts.HighwayLength, 16, opts.LanesPerDirection, opts.SpeedMean+10)
-		if err != nil {
-			return nil, nil, fmt.Errorf("scenario: build ring: %w", err)
-		}
-		return net, nil, nil
-	default:
-		net, eb, wb, err := roadnet.Highway(opts.HighwayLength, opts.LanesPerDirection, opts.SpeedMean+10)
-		if err != nil {
-			return nil, nil, fmt.Errorf("scenario: build highway: %w", err)
-		}
-		return net, []roadnet.SegmentID{eb, wb}, nil
+	if len(tracks) > 0 {
+		opts.Vehicles = len(tracks)
+		return Spec{
+			Name:     "trace",
+			Topology: TraceTopology{Tracks: tracks},
+			Traffic:  TraceTraffic{Tracks: tracks},
+		}, opts, nil
 	}
+	if opts.Scenario != "" {
+		def, ok := Named(opts.Scenario)
+		if !ok {
+			return Spec{}, opts, fmt.Errorf("scenario: unknown scenario %q (known: %v)", opts.Scenario, Names())
+		}
+		return def.Build(opts), opts, nil
+	}
+	var spec Spec // zero value: Kind-selected topology, closed traffic, CBR
+	if opts.ArrivalRate > 0 || opts.MeanLifetime > 0 {
+		// either knob opens the world: arrivals without departures grows
+		// the population, departures without arrivals (ArrivalRate 0)
+		// drains it
+		spec.Traffic = OpenTraffic{
+			Initial:      opts.Vehicles,
+			Arrivals:     ConstantRate(opts.ArrivalRate),
+			MeanLifetime: opts.MeanLifetime,
+		}
+	}
+	return spec, opts, nil
 }
 
 // channelReceiptFor tunes the shadowing model so its median range is close
@@ -401,23 +415,6 @@ func (s *Scenario) installDensityRefresh(dmap *car.DensityMap) {
 		eng.After(1.0, refresh)
 	}
 	eng.After(0, refresh)
-}
-
-// addFlows wires CBR flows between distinct random vehicle pairs.
-func (s *Scenario) addFlows(rng *rand.Rand) {
-	n := len(s.Vehicles)
-	if n < 2 {
-		return
-	}
-	for f := 0; f < s.Opts.Flows; f++ {
-		src := s.Vehicles[rng.Intn(n)]
-		dst := s.Vehicles[rng.Intn(n)]
-		for dst == src {
-			dst = s.Vehicles[rng.Intn(n)]
-		}
-		start := s.Opts.WarmUp + rng.Float64()*2
-		s.World.AddFlow(src, dst, start, s.Opts.FlowInterval, s.Opts.FlowPackets, s.Opts.PacketSize)
-	}
 }
 
 // Run executes the scenario and returns the metrics summary.

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/mobility"
+	"github.com/vanetlab/relroute/internal/roadnet"
+)
+
+// HighwayTopology is a straight bidirectional multi-lane highway
+// (Options.HighwayLength, Options.LanesPerDirection), the paper's default
+// evaluation habitat.
+type HighwayTopology struct{}
+
+// Name implements Topology.
+func (HighwayTopology) Name() string { return "highway" }
+
+// Build implements Topology. Traffic scatters only on the two
+// carriageways, not the median crossovers.
+func (HighwayTopology) Build(opts *Options) (*roadnet.Network, []roadnet.SegmentID, error) {
+	net, eb, wb, err := roadnet.Highway(opts.HighwayLength, opts.LanesPerDirection, opts.SpeedMean+10)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: build highway: %w", err)
+	}
+	return net, []roadnet.SegmentID{eb, wb}, nil
+}
+
+// GridTopology is a Manhattan street grid. The zero value takes the
+// junction count from Options.GridN with 400 m blocks.
+type GridTopology struct {
+	// N overrides Options.GridN when positive.
+	N int
+	// Spacing is the block edge in meters (default 400).
+	Spacing float64
+}
+
+// Name implements Topology.
+func (GridTopology) Name() string { return "city" }
+
+// Build implements Topology.
+func (t GridTopology) Build(opts *Options) (*roadnet.Network, []roadnet.SegmentID, error) {
+	n := t.N
+	if n <= 0 {
+		n = opts.GridN
+	}
+	spacing := t.Spacing
+	if spacing <= 0 {
+		spacing = 400
+	}
+	net, err := roadnet.Grid(n, n, spacing, 1, 14)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: build city: %w", err)
+	}
+	return net, nil, nil
+}
+
+// RingTopology is a closed loop that holds density constant indefinitely
+// (circumference Options.HighwayLength).
+type RingTopology struct {
+	// Sides is the polygon side count approximating the circle (default 16).
+	Sides int
+}
+
+// Name implements Topology.
+func (RingTopology) Name() string { return "ring" }
+
+// Build implements Topology.
+func (t RingTopology) Build(opts *Options) (*roadnet.Network, []roadnet.SegmentID, error) {
+	sides := t.Sides
+	if sides <= 0 {
+		sides = 16
+	}
+	net, err := roadnet.Ring(opts.HighwayLength, sides, opts.LanesPerDirection, opts.SpeedMean+10)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: build ring: %w", err)
+	}
+	return net, nil, nil
+}
+
+// CustomTopology wraps a caller-supplied road network, the escape hatch
+// for roadnets built programmatically (or imported from external map
+// data) that none of the presets cover.
+type CustomTopology struct {
+	// Label names the topology in scenario names (default "custom").
+	Label string
+	// Network is the prebuilt road graph (required).
+	Network *roadnet.Network
+	// Segments optionally restricts traffic placement.
+	Segments []roadnet.SegmentID
+}
+
+// Name implements Topology.
+func (t CustomTopology) Name() string {
+	if t.Label == "" {
+		return "custom"
+	}
+	return t.Label
+}
+
+// Build implements Topology.
+func (t CustomTopology) Build(*Options) (*roadnet.Network, []roadnet.SegmentID, error) {
+	if t.Network == nil {
+		return nil, nil, fmt.Errorf("scenario: custom topology has no network")
+	}
+	return t.Network, t.Segments, nil
+}
+
+// TraceTopology derives an envelope road network from the bounding box of
+// an FCD trace: a straight two-way road across the long axis of the
+// recorded area. Replayed vehicles follow their recorded trajectories
+// regardless, but road-aware protocols (CAR's density map, GVGrid's grid
+// paths) need some road graph to reason over, and RSU placement spreads
+// along the network bounds.
+type TraceTopology struct {
+	Tracks []mobility.Track
+}
+
+// Name implements Topology.
+func (TraceTopology) Name() string { return "trace" }
+
+// Build implements Topology.
+func (t TraceTopology) Build(*Options) (*roadnet.Network, []roadnet.SegmentID, error) {
+	var bounds geom.Rect
+	first := true
+	for _, tr := range t.Tracks {
+		for _, wp := range tr.Waypoints {
+			r := geom.NewRect(wp.Pos, wp.Pos)
+			if first {
+				bounds = r
+				first = false
+			} else {
+				bounds = bounds.Union(r)
+			}
+		}
+	}
+	if first {
+		return nil, nil, fmt.Errorf("scenario: trace has no waypoints")
+	}
+	bounds = bounds.Expand(20)
+	b := roadnet.NewBuilder()
+	c := bounds.Center()
+	var j0, j1 roadnet.JunctionID
+	if bounds.Width() >= bounds.Height() {
+		j0 = b.AddJunction(geom.V(bounds.Min.X, c.Y))
+		j1 = b.AddJunction(geom.V(bounds.Max.X, c.Y))
+	} else {
+		j0 = b.AddJunction(geom.V(c.X, bounds.Min.Y))
+		j1 = b.AddJunction(geom.V(c.X, bounds.Max.Y))
+	}
+	b.AddTwoWay(j0, j1, 1, 3.5, 30)
+	net, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: trace envelope: %w", err)
+	}
+	return net, nil, nil
+}

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/vanetlab/relroute/internal/netstack"
+)
+
+// CBRWorkload wires Options.Flows constant-bit-rate flows between
+// distinct random vehicle pairs — the paper's evaluation workload, and
+// the default. The flow endpoints, start jitter, and packet schedule
+// reproduce the pre-provider builder draw for draw.
+//
+// When fewer than two vehicles exist at build time but the scenario
+// replays a trace (a SUMO export whose vehicles all depart after t=0),
+// the flows are wired over the tracks' active windows instead: endpoints
+// are picked among track pairs that coexist, addressed by vehicle ID,
+// and resolved to nodes at send time once the vehicles have joined.
+type CBRWorkload struct{}
+
+// Install implements Workload.
+func (CBRWorkload) Install(sc *Scenario, rng *rand.Rand) {
+	n := len(sc.Vehicles)
+	if n < 2 {
+		if len(sc.Tracks) >= 2 {
+			installTraceFlows(sc, rng)
+		}
+		return
+	}
+	for f := 0; f < sc.Opts.Flows; f++ {
+		src := sc.Vehicles[rng.Intn(n)]
+		dst := sc.Vehicles[rng.Intn(n)]
+		for dst == src {
+			dst = sc.Vehicles[rng.Intn(n)]
+		}
+		start := sc.Opts.WarmUp + rng.Float64()*2
+		sc.World.AddFlow(src, dst, start, sc.Opts.FlowInterval, sc.Opts.FlowPackets, sc.Opts.PacketSize)
+	}
+}
+
+// installTraceFlows wires CBR flows between track pairs whose active
+// windows overlap, starting each flow inside the overlap (slightly after
+// it opens so both vehicles have joined by the first packet).
+func installTraceFlows(sc *Scenario, rng *rand.Rand) {
+	tracks := sc.Tracks
+	for f := 0; f < sc.Opts.Flows; f++ {
+		for try := 0; try < 32; try++ {
+			a := rng.Intn(len(tracks))
+			b := rng.Intn(len(tracks))
+			if a == b {
+				continue
+			}
+			af, al := tracks[a].Span()
+			bf, bl := tracks[b].Span()
+			lo := math.Max(af, bf)
+			hi := math.Min(al, bl)
+			if hi-lo < 1 {
+				continue // need the pair to coexist for at least a second
+			}
+			start := lo + 0.2 + rng.Float64()*(hi-lo)/2
+			sc.World.AddVehicleFlow(tracks[a].ID, tracks[b].ID, start,
+				sc.Opts.FlowInterval, sc.Opts.FlowPackets, sc.Opts.PacketSize)
+			break
+		}
+	}
+}
+
+// BurstWorkload models bursty emergency broadcast: at the trigger time a
+// few alarm sources each fan a rapid packet train out to several
+// destinations at once — a sudden synchronized load spike on top of an
+// otherwise idle network, the accident-notification pattern safety
+// messaging papers stress.
+type BurstWorkload struct {
+	// At is the trigger time in seconds (default WarmUp + 2).
+	At float64
+	// Sources is how many vehicles raise the alarm (default 1).
+	Sources int
+	// Fanout is the destinations per source (default 3).
+	Fanout int
+	// Packets per (source, destination) train (default Options.FlowPackets).
+	Packets int
+	// Gap is the intra-train packet spacing in seconds (default 0.05).
+	Gap float64
+}
+
+// Install implements Workload.
+func (w BurstWorkload) Install(sc *Scenario, rng *rand.Rand) {
+	n := len(sc.Vehicles)
+	if n < 2 {
+		return
+	}
+	at := w.At
+	if at <= 0 {
+		at = sc.Opts.WarmUp + 2
+	}
+	sources := w.Sources
+	if sources <= 0 {
+		sources = 1
+	}
+	fanout := w.Fanout
+	if fanout <= 0 {
+		fanout = 3
+	}
+	if fanout > n-1 {
+		fanout = n - 1
+	}
+	packets := w.Packets
+	if packets <= 0 {
+		packets = sc.Opts.FlowPackets
+	}
+	gap := w.Gap
+	if gap <= 0 {
+		gap = 0.05
+	}
+	for s := 0; s < sources; s++ {
+		src := sc.Vehicles[rng.Intn(n)]
+		for f := 0; f < fanout; f++ {
+			dst := sc.Vehicles[rng.Intn(n)]
+			for dst == src {
+				dst = sc.Vehicles[rng.Intn(n)]
+			}
+			sc.World.AddFlow(src, dst, at, gap, packets, sc.Opts.PacketSize)
+		}
+	}
+}
+
+// V2IWorkload models vehicle-to-infrastructure request/response: static
+// roadside servers (running the scenario's own protocol stack) spread
+// along the network, and vehicle clients exchanging small requests for
+// larger responses with them — the traffic-information-service pattern of
+// Sec. V, where reachability of fixed infrastructure is what matters.
+type V2IWorkload struct {
+	// Servers is the roadside server count (default 2).
+	Servers int
+	// Clients is the requesting vehicle count (default Options.Flows).
+	Clients int
+	// Requests per client (default Options.FlowPackets).
+	Requests int
+	// Interval between a client's requests in seconds (default
+	// Options.FlowInterval).
+	Interval float64
+}
+
+// RequestSize is the fixed V2I request payload in bytes; responses use
+// Options.PacketSize.
+const RequestSize = 64
+
+// Install implements Workload: it places the servers as RSU-kind static
+// nodes and wires, per client, a request flow to its server and the
+// server's response flow back, offset by half an interval.
+func (w V2IWorkload) Install(sc *Scenario, rng *rand.Rand) {
+	servers := w.Servers
+	if servers <= 0 {
+		servers = 2
+	}
+	ids := make([]netstack.NodeID, 0, servers)
+	for _, p := range rsuPositions(sc.Net, servers) {
+		id := sc.World.AddStaticNode(netstack.RSU, p, sc.factory())
+		ids = append(ids, id)
+	}
+	sc.RSUs = append(sc.RSUs, ids...)
+
+	n := len(sc.Vehicles)
+	if n == 0 {
+		return
+	}
+	clients := w.Clients
+	if clients <= 0 {
+		clients = sc.Opts.Flows
+	}
+	requests := w.Requests
+	if requests <= 0 {
+		requests = sc.Opts.FlowPackets
+	}
+	interval := w.Interval
+	if interval <= 0 {
+		interval = sc.Opts.FlowInterval
+	}
+	for c := 0; c < clients; c++ {
+		v := sc.Vehicles[rng.Intn(n)]
+		srv := ids[c%len(ids)]
+		start := sc.Opts.WarmUp + rng.Float64()*2
+		sc.World.AddFlow(v, srv, start, interval, requests, RequestSize)
+		sc.World.AddFlow(srv, v, start+interval/2, interval, requests, sc.Opts.PacketSize)
+	}
+}
+
+// Workloads composes several workloads into one (e.g. CBR background plus
+// an emergency burst).
+type Workloads []Workload
+
+// Install implements Workload.
+func (ws Workloads) Install(sc *Scenario, rng *rand.Rand) {
+	for _, w := range ws {
+		w.Install(sc, rng)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 
@@ -132,6 +133,34 @@ func Read(r io.Reader) ([]mobility.Track, error) {
 		}
 	}
 	return tracks, nil
+}
+
+// ReadFile parses the SUMO FCD export at path — the scenario engine's
+// trace-ingestion entry point (vanetsim -trace, Options.TracePath).
+func ReadFile(path string) ([]mobility.Track, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traces: %w", err)
+	}
+	defer f.Close()
+	tracks, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("traces: read %s: %w", path, err)
+	}
+	return tracks, nil
+}
+
+// WriteFile serialises tracks as a SUMO FCD export document at path.
+func WriteFile(path string, tracks []mobility.Track) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traces: %w", err)
+	}
+	if err := Write(f, tracks); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fmtF(f float64) string { return strconv.FormatFloat(f, 'f', 2, 64) }

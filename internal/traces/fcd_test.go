@@ -3,6 +3,7 @@ package traces
 import (
 	"bytes"
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -140,5 +141,45 @@ func TestRoundTripThroughPlayback(t *testing.T) {
 	}
 	if math.Abs(s[0].Pos.X-5.25) > 0.01 {
 		t.Fatalf("interpolated playback pos = %v", s[0].Pos)
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	tracks := []mobility.Track{{
+		ID: 0,
+		Waypoints: []mobility.Waypoint{
+			{T: 0, Pos: geom.V(0, 0), Speed: 10},
+			{T: 1, Pos: geom.V(10, 0), Speed: 10},
+		},
+	}}
+	path := filepath.Join(t.TempDir(), "out.fcd.xml")
+	if err := WriteFile(path, tracks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Waypoints) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.xml")); err == nil {
+		t.Fatal("missing file read without error")
+	}
+}
+
+func TestReadFixture(t *testing.T) {
+	tracks, err := ReadFile("../../testdata/fixture_5veh.fcd.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 5 {
+		t.Fatalf("fixture tracks = %d, want 5", len(tracks))
+	}
+	for i, tr := range tracks {
+		first, last := tr.Span()
+		if first != 0 || last != 30 {
+			t.Fatalf("fixture track %d window = [%v, %v], want [0, 30]", i, first, last)
+		}
 	}
 }

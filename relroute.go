@@ -33,8 +33,10 @@ import (
 	"github.com/vanetlab/relroute/internal/harness"
 	"github.com/vanetlab/relroute/internal/link"
 	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/mobility"
 	"github.com/vanetlab/relroute/internal/runner"
 	"github.com/vanetlab/relroute/internal/scenario"
+	"github.com/vanetlab/relroute/internal/traces"
 )
 
 // Options parameterises a simulation run; see scenario.Options for the
@@ -84,6 +86,32 @@ const (
 // Protocols returns the names accepted by Run: at least two protocols per
 // taxonomy category.
 func Protocols() []string { return scenario.Protocols() }
+
+// Scenarios lists the named scenario presets accepted by Options.Scenario
+// — composed topology/traffic/workload bundles like "city-rush" (an
+// open-world grid under a rush-hour arrival ramp) or "v2i" (roadside
+// servers with request/response traffic).
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioDescriptions maps each named scenario to its one-line
+// description, for listings.
+func ScenarioDescriptions() map[string]string { return scenario.Descriptions() }
+
+// Track is one vehicle's recorded trajectory, replayable through
+// Options.Tracks (or from a SUMO FCD file via Options.TracePath). The
+// track's waypoint span is its active window: the vehicle joins the world
+// when the trace begins and leaves when it ends.
+type Track = mobility.Track
+
+// Waypoint is one sampled trace point of a Track.
+type Waypoint = mobility.Waypoint
+
+// ReadTraceFile parses a SUMO floating-car-data (FCD) XML export into
+// replayable tracks.
+func ReadTraceFile(path string) ([]Track, error) { return traces.ReadFile(path) }
+
+// WriteTraceFile serialises tracks as a SUMO FCD export document.
+func WriteTraceFile(path string, tracks []Track) error { return traces.WriteFile(path, tracks) }
 
 // Run builds and executes one simulation of the named protocol.
 func Run(protocol string, opts Options) (Summary, error) {

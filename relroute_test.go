@@ -59,8 +59,21 @@ func TestRunExperimentFig1(t *testing.T) {
 }
 
 func TestExperimentsListed(t *testing.T) {
-	if got := len(relroute.Experiments()); got != 14 {
+	if got := len(relroute.Experiments()); got != 16 {
 		t.Fatalf("experiments = %d", got)
+	}
+}
+
+func TestScenariosListed(t *testing.T) {
+	names := relroute.Scenarios()
+	if len(names) < 7 {
+		t.Fatalf("named scenarios = %d: %v", len(names), names)
+	}
+	descs := relroute.ScenarioDescriptions()
+	for _, name := range names {
+		if descs[name] == "" {
+			t.Errorf("scenario %q undocumented", name)
+		}
 	}
 }
 
