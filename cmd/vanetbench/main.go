@@ -20,6 +20,12 @@
 //	                            # hold it), wall-clock per run, optional
 //	                            # -json report for CI archival
 //
+//	vanetbench linkacc -json BENCH_linkacc.json
+//	                            # reliability plane accuracy: every link
+//	                            # estimator × {highway, city-rush, trace},
+//	                            # prediction MAE/bias vs ground-truth
+//	                            # link breaks
+//
 // Profiling: both modes accept -cpuprofile and -memprofile to capture
 // pprof profiles of the run, e.g.
 //
@@ -91,6 +97,8 @@ func main() {
 		err = runSweep(args[1:])
 	case len(args) > 0 && args[0] == "scale":
 		err = runScale(args[1:])
+	case len(args) > 0 && args[0] == "linkacc":
+		err = runLinkAcc(args[1:])
 	default:
 		err = run(args)
 	}
@@ -410,6 +418,59 @@ func runScale(args []string) error {
 		enc = append(enc, '\n')
 		if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
 			return fmt.Errorf("scale: %w", err)
+		}
+	}
+	return nil
+}
+
+// linkAccReport is the linkacc -json document CI archives as
+// BENCH_linkacc.json alongside the performance benchmarks.
+type linkAccReport struct {
+	HorizonS float64                     `json:"audit_horizon_s"`
+	Seed     int64                       `json:"seed"`
+	Quick    bool                        `json:"quick"`
+	Results  []relroute.LinkAccuracyCell `json:"results"`
+}
+
+// runLinkAcc executes the reliability plane's prediction-accuracy grid:
+// every registered link estimator across the highway / city-rush / trace
+// scenarios, each run audited against ground-truth link breaks.
+func runLinkAcc(args []string) error {
+	fs := flag.NewFlagSet("vanetbench linkacc", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "random seed")
+		quick    = fs.Bool("quick", false, "reduced populations and durations")
+		parallel = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		jsonOut  = fs.String("json", "", "write a machine-readable report to this file")
+	)
+	startProfiles := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "vanetbench:", perr)
+		}
+	}()
+	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel}
+	cells, err := relroute.LinkAccuracy(cfg)
+	if err != nil {
+		return fmt.Errorf("linkacc: %w", err)
+	}
+	relroute.LinkAccuracyTable(cells).Render(os.Stdout)
+	if *jsonOut != "" {
+		rep := linkAccReport{HorizonS: relroute.LinkAuditHorizon, Seed: *seed, Quick: *quick, Results: cells}
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("linkacc: %w", err)
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			return fmt.Errorf("linkacc: %w", err)
 		}
 	}
 	return nil

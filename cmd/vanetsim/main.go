@@ -50,6 +50,8 @@ func run(args []string) error {
 		shadowing = fs.Bool("shadowing", false, "log-normal shadowing channel instead of unit disk")
 		rng       = fs.Float64("range", 250, "nominal radio range in meters")
 		tickets   = fs.Int("tickets", 3, "TBP-SS ticket budget")
+		estimator = fs.String("estimator", "", "reliability-plane link estimator (see -list-estimators; empty = composite)")
+		listEst   = fs.Bool("list-estimators", false, "list link estimators and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,13 +69,19 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *listEst {
+		for _, name := range relroute.Estimators() {
+			fmt.Println(name)
+		}
+		return nil
+	}
 	opts := relroute.Options{
 		Seed: *seed, Vehicles: *vehicles, HighwayLength: *length,
 		SpeedMean: *speed, SpeedStd: *speedStd, Duration: *duration,
 		Flows: *flows, FlowPackets: *packets,
 		RSUs: *rsus, Buses: *buses, Shadowing: *shadowing, Range: *rng,
-		TicketBudget: *tickets,
-		Scenario:     *scen, TracePath: *trace,
+		TicketBudget: *tickets, Estimator: *estimator,
+		Scenario: *scen, TracePath: *trace,
 		ArrivalRate: *arrival, MeanLifetime: *lifetime,
 	}
 	if *city {

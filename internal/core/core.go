@@ -24,6 +24,7 @@ import (
 
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/link"
+	"github.com/vanetlab/relroute/internal/linkstate"
 	"github.com/vanetlab/relroute/internal/netstack"
 	"github.com/vanetlab/relroute/internal/prob"
 )
@@ -142,8 +143,27 @@ func LinkStability(m Metric, params StabilityParams, aPos, aVel, bPos, bVel geom
 // involved in the routing path".
 func PathStability(links []float64) float64 { return link.PathLifetime(links) }
 
-// neighborStability evaluates the metric for the link self→nb using the
-// router's API state.
-func neighborStability(api *netstack.API, m Metric, params StabilityParams, nb netstack.Neighbor) float64 {
-	return LinkStability(m, params, api.Pos(), api.Vel(), nb.Pos, nb.Vel, api.RangeEstimate())
+// linkStateStability evaluates the metric for the link self→neighbor on a
+// reliability-plane link state (from API.LinkState/LinkStates): the
+// deterministic metric consumes the plane's memoized residual-lifetime
+// prediction directly, and the probability metrics run the shared
+// Sec. VII expected-duration helper over the beaconed kinematics.
+func linkStateStability(api *netstack.API, m Metric, params StabilityParams, ls netstack.LinkState) float64 {
+	switch m {
+	case MetricDeterministic:
+		t := ls.Lifetime
+		if t > params.horizon() {
+			return params.horizon()
+		}
+		return t
+	case MetricExpectedDuration, MetricMeanDuration:
+		sigma := params.speedSigma()
+		if m == MetricMeanDuration {
+			sigma = params.driftSigma()
+		}
+		obs := linkstate.Observer{Pos: api.Pos(), Vel: api.Vel(), Now: api.Now()}
+		return linkstate.ExpectedDuration(obs, ls, sigma, api.RangeEstimate(), params.horizon())
+	default:
+		return 0
+	}
 }

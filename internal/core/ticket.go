@@ -160,7 +160,9 @@ func (r *TicketRouter) Originate(dst netstack.NodeID, size int) {
 		r.sendAlong(pkt, ap.hops)
 		return
 	}
-	r.pending.Push(dst, pkt)
+	if ev := r.pending.Push(dst, pkt); ev != nil {
+		r.API.Drop(ev)
+	}
 	r.startProbing(dst)
 }
 
@@ -243,12 +245,13 @@ type candidate struct {
 	progress  float64
 }
 
-// stability evaluates one neighbor with the configured metric or scorer.
-func (r *TicketRouter) stability(nb netstack.Neighbor) float64 {
+// stability evaluates one reliability-plane link state with the
+// configured metric or scorer.
+func (r *TicketRouter) stability(ls netstack.LinkState) float64 {
 	if r.scorer != nil {
-		return r.scorer(r.API, nb)
+		return r.scorer(r.API, ls)
 	}
-	return neighborStability(r.API, r.metric, r.params, nb)
+	return linkStateStability(r.API, r.metric, r.params, ls)
 }
 
 // candidates ranks admissible next hops for a probe: live neighbors not on
@@ -260,7 +263,7 @@ func (r *TicketRouter) candidates(dst netstack.NodeID, path []netstack.NodeID) [
 		selfD = r.API.Pos().Dist(dstPos)
 	}
 	var out []candidate
-	for _, nb := range r.API.Neighbors() {
+	for _, nb := range r.API.LinkStates() {
 		if onPath(path, nb.ID) {
 			continue
 		}
@@ -338,8 +341,8 @@ func (r *TicketRouter) handleProbe(pkt *netstack.Packet) {
 	// the receiving end (the survey's probing is per-link, both ends see
 	// the beacons).
 	inStab := pr.Stability
-	if nb, okNb := r.API.Neighbor(pkt.From); okNb {
-		s := r.stability(nb)
+	if ls, okLs := r.API.LinkState(pkt.From); okLs {
+		s := r.stability(ls)
 		if s < inStab {
 			inStab = s
 		}
@@ -547,7 +550,9 @@ func (r *TicketRouter) OnSendFailed(pkt *netstack.Packet, to netstack.NodeID) {
 			r.API.Metrics().RouteBreaks++
 		}
 		pkt.Payload = nil
-		r.pending.Push(target, pkt)
+		if ev := r.pending.Push(target, pkt); ev != nil {
+			r.API.Drop(ev)
+		}
 		r.startProbing(target)
 		return
 	}

@@ -131,6 +131,7 @@ func registry() []Experiment {
 		{ID: "abl-disaster", Title: "infrastructure damaged mid-run, Sec. V-A (E-A7)", Run: AblationDisaster},
 		{ID: "churn", Title: "open-world vehicle churn vs the closed-world assumption (E-S1)", Run: ScenarioChurn},
 		{ID: "trace-replay", Title: "end-to-end FCD trace replay through the playback model (E-S2)", Run: ScenarioTraceReplay},
+		{ID: "link-accuracy", Title: "predicted vs observed link lifetime per estimator (E-R1)", Run: LinkAccuracy},
 	}
 }
 

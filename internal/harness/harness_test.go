@@ -8,12 +8,12 @@ import (
 
 func TestAllExperimentsRegisteredAndRunnable(t *testing.T) {
 	exps := All()
-	if len(exps) != 16 {
+	if len(exps) != 17 {
 		t.Fatalf("registered experiments = %d", len(exps))
 	}
 	wantIDs := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1",
 		"abl-storm", "abl-regimes", "abl-lifetime", "abl-probvsgeo", "abl-tickets", "abl-hybrid", "abl-disaster",
-		"churn", "trace-replay"}
+		"churn", "trace-replay", "link-accuracy"}
 	for _, id := range wantIDs {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)
@@ -210,7 +210,7 @@ func TestAblationDisasterDegradesGracefully(t *testing.T) {
 // grid (fig2), a protocol × options grid (fig6), and an explicit labelled
 // campaign with a post-build hook (abl-disaster).
 func TestParallelTablesByteIdentical(t *testing.T) {
-	for _, id := range []string{"fig2", "fig6", "abl-disaster"} {
+	for _, id := range []string{"fig2", "fig6", "abl-disaster", "link-accuracy"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

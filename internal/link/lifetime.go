@@ -203,16 +203,32 @@ func saturationTimes(k Kinematics1D, vmax float64) []float64 {
 // quadRoots returns the real roots of a·x² + b·x + c = 0. Degenerate
 // (linear, constant) cases are handled.
 func quadRoots(a, b, c float64) []float64 {
+	r1, r2, n := quadRoots2(a, b, c)
+	switch n {
+	case 1:
+		return []float64{r1}
+	case 2:
+		return []float64{r1, r2}
+	default:
+		return nil
+	}
+}
+
+// quadRoots2 is the allocation-free form of quadRoots, for hot paths (the
+// per-decision LifetimeVec behind the reliability plane's memo): it
+// returns up to two real roots and their count, computed with the exact
+// arithmetic of quadRoots so results stay bit-identical.
+func quadRoots2(a, b, c float64) (r1, r2 float64, n int) {
 	const eps = 1e-12
 	if math.Abs(a) < eps {
 		if math.Abs(b) < eps {
-			return nil
+			return 0, 0, 0
 		}
-		return []float64{-c / b}
+		return -c / b, 0, 1
 	}
 	disc := b*b - 4*a*c
 	if disc < 0 {
-		return nil
+		return 0, 0, 0
 	}
 	sq := math.Sqrt(disc)
 	// Numerically stable form.
@@ -222,12 +238,11 @@ func quadRoots(a, b, c float64) []float64 {
 	} else {
 		q = -0.5 * (b - sq)
 	}
-	r1 := q / a
+	r1 = q / a
 	if sq == 0 {
-		return []float64{r1}
+		return r1, 0, 1
 	}
-	r2 := c / q
-	return []float64{r1, r2}
+	return r1, c / q, 2
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -265,12 +280,13 @@ func LifetimeVec(pi, vi, pj, vj geom.Vec2, r float64) float64 {
 	}
 	b := 2 * dp.Dot(dv)
 	c := dp.LenSq() - r*r
-	roots := quadRoots(a, b, c)
+	r1, r2, n := quadRoots2(a, b, c)
 	best := math.Inf(1)
-	for _, t := range roots {
-		if t >= 0 && t < best {
-			best = t
-		}
+	if n >= 1 && r1 >= 0 && r1 < best {
+		best = r1
+	}
+	if n >= 2 && r2 >= 0 && r2 < best {
+		best = r2
 	}
 	if math.IsInf(best, 1) {
 		return Forever

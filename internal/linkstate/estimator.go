@@ -1,0 +1,243 @@
+package linkstate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/link"
+	"github.com/vanetlab/relroute/internal/prob"
+)
+
+// Prediction is an estimator's output for one link: the predicted
+// residual lifetime in seconds and the per-frame receipt probability.
+type Prediction struct {
+	Lifetime    float64
+	ReceiptProb float64
+}
+
+// Estimator predicts link quality from the monitored evidence; kinematic
+// is the memoized Eqn (4) residual lifetime precomputed by the Monitor.
+// Implementations must be stateless and deterministic — per-link state
+// belongs in the LinkState evidence fields, and estimators run inside the
+// single-threaded engines of many concurrent simulations. The value-in,
+// value-out shape keeps Monitor.State allocation-free (a pointer argument
+// would escape through the interface call).
+type Estimator interface {
+	// Name returns the registry name of the estimator.
+	Name() string
+	// Estimate predicts from the observed link evidence.
+	Estimate(ls LinkState, obs Observer, kinematic float64) Prediction
+}
+
+// Config parameterises estimator construction. The zero value of every
+// field takes the documented default.
+type Config struct {
+	// Range is the communication range r in meters used by geometric
+	// predictions (default 250 — the nominal DSRC figure).
+	Range float64
+	// Receipt maps RSSI to receipt probability for the rssi and composite
+	// estimators (zero value means prob.DefaultReceiptModel).
+	Receipt prob.ReceiptModel
+	// TrendFloor is the minimum fading rate in dB/s the rssi estimator
+	// extrapolates; flatter trends predict an unbreakable link
+	// (default 1e-3).
+	TrendFloor float64
+	// MinAge floors the receipt estimator's age-based residual in seconds
+	// (default 1).
+	MinAge float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Range <= 0 {
+		c.Range = 250
+	}
+	if c.Receipt == (prob.ReceiptModel{}) {
+		c.Receipt = prob.DefaultReceiptModel()
+	}
+	if c.TrendFloor <= 0 {
+		c.TrendFloor = 1e-3
+	}
+	if c.MinAge <= 0 {
+		c.MinAge = 1
+	}
+	return c
+}
+
+// Factory builds an estimator from a config.
+type Factory func(Config) Estimator
+
+// registry maps estimator names to factories. Register before running
+// simulations; the map is read concurrently by runner workers.
+var registry = map[string]Factory{
+	"kinematic": func(c Config) Estimator { return kinematicEstimator{cfg: c.withDefaults()} },
+	"rssi":      func(c Config) Estimator { return rssiEstimator{cfg: c.withDefaults()} },
+	"receipt":   func(c Config) Estimator { return receiptEstimator{cfg: c.withDefaults()} },
+	"composite": func(c Config) Estimator { return compositeEstimator{cfg: c.withDefaults()} },
+}
+
+// DefaultEstimator is the registry name resolved for an empty estimator
+// selection: the composite estimator, whose predictions reproduce exactly
+// what the protocols computed before the reliability plane existed.
+const DefaultEstimator = "composite"
+
+// Register adds a named estimator factory (call before building worlds).
+func Register(name string, f Factory) { registry[name] = f }
+
+// Known reports whether name resolves in the registry ("" is the default).
+func Known(name string) bool {
+	if name == "" {
+		return true
+	}
+	_, ok := registry[name]
+	return ok
+}
+
+// Names returns the registered estimator names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named estimator ("" selects DefaultEstimator).
+func New(name string, cfg Config) (Estimator, error) {
+	if name == "" {
+		name = DefaultEstimator
+	}
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("linkstate: unknown estimator %q (known: %v)", name, Names())
+	}
+	return f(cfg), nil
+}
+
+// MustNew is New for statically known names; it panics on unknown ones.
+func MustNew(name string, cfg Config) Estimator {
+	e, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// kinematicEstimator is the paper's Sec. IV-A predictor: the residual
+// lifetime is the Eqn (4) solution on the beaconed kinematics, and receipt
+// is the unit-disk indicator of the current geometric distance.
+type kinematicEstimator struct{ cfg Config }
+
+// Name implements Estimator.
+func (kinematicEstimator) Name() string { return "kinematic" }
+
+// Estimate implements Estimator.
+func (e kinematicEstimator) Estimate(ls LinkState, obs Observer, kinematic float64) Prediction {
+	p := Prediction{Lifetime: kinematic}
+	if ls.Pos.Dist(obs.Pos) <= e.cfg.Range {
+		p.ReceiptProb = 1
+	}
+	return p
+}
+
+// rssiEstimator is the radio-only predictor (REAR's family): receipt from
+// the shadowing loss model over the smoothed beacon RSSI, and lifetime by
+// extrapolating the RSSI trend down to the receiver sensitivity.
+type rssiEstimator struct{ cfg Config }
+
+// Name implements Estimator.
+func (rssiEstimator) Name() string { return "rssi" }
+
+// Estimate implements Estimator.
+func (e rssiEstimator) Estimate(ls LinkState, obs Observer, kinematic float64) Prediction {
+	p := Prediction{ReceiptProb: e.cfg.Receipt.ProbFromRSSI(ls.MeanRSSI)}
+	margin := ls.MeanRSSI - e.cfg.Receipt.RxThreshDBm
+	switch {
+	case margin <= 0:
+		p.Lifetime = 0 // already below sensitivity
+	case ls.RSSITrend < -e.cfg.TrendFloor:
+		p.Lifetime = margin / -ls.RSSITrend
+	default:
+		p.Lifetime = link.Forever // flat or improving signal
+	}
+	return p
+}
+
+// receiptEstimator is the pure feedback predictor (the REAR-style
+// fold-in-observed-reception direction of arXiv:1704.07519): receipt is
+// the EWMA of observed per-frame outcomes, and the residual lifetime is
+// age-proportional (a link that has survived t tends to survive about t
+// more) discounted by that same feedback.
+type receiptEstimator struct{ cfg Config }
+
+// Name implements Estimator.
+func (receiptEstimator) Name() string { return "receipt" }
+
+// Estimate implements Estimator.
+func (e receiptEstimator) Estimate(ls LinkState, obs Observer, kinematic float64) Prediction {
+	age := obs.Now - ls.FirstSeen
+	if age < e.cfg.MinAge {
+		age = e.cfg.MinAge
+	}
+	return Prediction{Lifetime: age * ls.FeedbackProb, ReceiptProb: ls.FeedbackProb}
+}
+
+// compositeEstimator is the default: the best single-source estimate per
+// quantity — kinematic Eqn (4) for the residual lifetime, the RSSI loss
+// model for receipt probability. Its predictions are exactly what the
+// protocols hand-rolled before the plane existed, which is what keeps the
+// golden experiment outputs byte-identical.
+type compositeEstimator struct{ cfg Config }
+
+// Name implements Estimator.
+func (compositeEstimator) Name() string { return "composite" }
+
+// Estimate implements Estimator.
+func (e compositeEstimator) Estimate(ls LinkState, obs Observer, kinematic float64) Prediction {
+	return Prediction{Lifetime: kinematic, ReceiptProb: e.cfg.Receipt.ProbFromRSSI(ls.MeanRSSI)}
+}
+
+// durationModel builds the Sec. VII link-duration model for the link
+// from the observer to ls: the axis points observer → neighbor, the gap
+// is signed positive along it, and Mu is the negated projected closing
+// speed (positive Δv toward the neighbor shrinks the gap). It reports
+// false when the gap already exceeds the range — the link is down.
+func durationModel(obs Observer, ls LinkState, sigma, rangeM, horizon float64) (prob.LinkDurationModel, bool) {
+	axis := ls.Pos.Sub(obs.Pos)
+	gap := axis.Len()
+	if gap > rangeM {
+		return prob.LinkDurationModel{}, false
+	}
+	rel := geom.Project(obs.Vel.Sub(ls.Vel), axis)
+	return prob.LinkDurationModel{
+		RelSpeed: prob.Normal{Mu: -rel, Sigma: sigma},
+		Gap:      gap,
+		Range:    rangeM,
+		Horizon:  horizon,
+	}, true
+}
+
+// Survival is the shared Sec. VII link-availability helper: the
+// probability that the link from the observer to ls outlives t seconds
+// under a normal relative-speed model N(observed Δv, sigma²) — the inline
+// math NiuDe-style QoS protocols used to duplicate. horizon truncates the
+// duration statistics (0 means the model default).
+func Survival(obs Observer, ls LinkState, sigma, rangeM, horizon, t float64) float64 {
+	model, up := durationModel(obs, ls, sigma, rangeM, horizon)
+	if !up {
+		return 0
+	}
+	return model.SurvivalProb(t)
+}
+
+// ExpectedDuration is the shared Sec. VII expected-link-duration helper:
+// E[min(T, horizon)] under the same normal relative-speed model — the
+// metric behind the paper's TBP variants.
+func ExpectedDuration(obs Observer, ls LinkState, sigma, rangeM, horizon float64) float64 {
+	model, up := durationModel(obs, ls, sigma, rangeM, horizon)
+	if !up {
+		return 0
+	}
+	return model.Expected()
+}

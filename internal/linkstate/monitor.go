@@ -1,0 +1,233 @@
+package linkstate
+
+import (
+	"math"
+	"sort"
+
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/link"
+)
+
+// rssiAlpha is the EWMA weight of a fresh beacon RSSI sample: 0.3 smooths
+// shadowing while still tracking mobility (the constant the pre-plane
+// neighbor table used — part of the golden determinism contract).
+const rssiAlpha = 0.3
+
+// trendAlpha smooths the per-beacon RSSI slope into RSSITrend.
+const trendAlpha = 0.3
+
+// feedbackAlpha is the EWMA weight of one observed link outcome
+// (reception success or ARQ failure) in FeedbackProb.
+const feedbackAlpha = 0.25
+
+// Monitor tracks the currently live links of one node and estimates their
+// quality. It subsumes the old netstack neighbor table: entries are
+// created and refreshed by HELLO beacons, expire ttl seconds after the
+// last beacon, and additionally accumulate MAC feedback (receptions and
+// ARQ failures). Derived predictions are computed on read by the
+// configured Estimator, with the kinematic Eqn (4) lifetime memoized per
+// (mobility epoch, beacon count) so repeated routing decisions within one
+// epoch cost no recomputation and no allocations.
+type Monitor struct {
+	entries map[NodeID]*LinkState
+	ttl     float64
+	rangeM  float64 // communication range r for Eqn (4)
+	est     Estimator
+	// oldest is a lower bound on the minimum LastSeen of any entry. The
+	// per-tick expiry sweep compares it against now before iterating: a
+	// table whose oldest possible entry is still fresh cannot hold anything
+	// to expire, which skips the map scan on almost every tick. Refreshing
+	// an entry may leave the bound stale-low; that only costs one full
+	// sweep, which recomputes it exactly.
+	oldest float64
+}
+
+// NewMonitor returns a monitor whose links expire ttl seconds after the
+// last beacon, predicting with the given estimator (nil means the default
+// composite estimator) over communication range rangeM.
+func NewMonitor(ttl, rangeM float64, est Estimator) *Monitor {
+	if est == nil {
+		est = MustNew("", Config{Range: rangeM})
+	}
+	return &Monitor{
+		entries: make(map[NodeID]*LinkState),
+		ttl:     ttl,
+		rangeM:  rangeM,
+		est:     est,
+		oldest:  math.Inf(1),
+	}
+}
+
+// Estimator returns the monitor's estimator.
+func (m *Monitor) Estimator() Estimator { return m.est }
+
+// Update inserts or refreshes an entry from a received beacon and returns
+// the stored entry (observed fields only; derived fields are not
+// recomputed here — read through State for predictions).
+func (m *Monitor) Update(id NodeID, kind NodeKind, pos, vel geom.Vec2, rssi, now float64) *LinkState {
+	e, ok := m.entries[id]
+	if !ok {
+		e = &LinkState{ID: id, MeanRSSI: rssi, FirstSeen: now, FeedbackProb: 1}
+		m.entries[id] = e
+	}
+	if now < m.oldest {
+		m.oldest = now
+	}
+	if ok && now > e.LastSeen {
+		// slope of the raw RSSI between consecutive beacons, smoothed
+		inst := (rssi - e.RSSI) / (now - e.LastSeen)
+		e.RSSITrend = (1-trendAlpha)*e.RSSITrend + trendAlpha*inst
+	}
+	e.Kind = kind
+	e.Pos = pos
+	e.Vel = vel
+	e.RSSI = rssi
+	// EWMA over beacons smooths shadowing; alpha 0.3 tracks mobility.
+	e.MeanRSSI = (1-rssiAlpha)*e.MeanRSSI + rssiAlpha*rssi
+	e.LastSeen = now
+	e.Beacons++
+	// a beacon got through: positive link feedback
+	e.FeedbackProb = (1-feedbackAlpha)*e.FeedbackProb + feedbackAlpha
+	return e
+}
+
+// RecordReceived folds a successfully received non-beacon frame from id
+// into the link's feedback evidence. Unknown links (no beacon heard yet)
+// are ignored — the table stays beacon-driven.
+func (m *Monitor) RecordReceived(id NodeID) {
+	e, ok := m.entries[id]
+	if !ok {
+		return
+	}
+	e.Received++
+	e.FeedbackProb = (1-feedbackAlpha)*e.FeedbackProb + feedbackAlpha
+}
+
+// RecordSendFailed folds a MAC transmission failure (unicast ARQ budget
+// exhausted sending to id) into the link's feedback evidence.
+func (m *Monitor) RecordSendFailed(id NodeID) {
+	e, ok := m.entries[id]
+	if !ok {
+		return
+	}
+	e.TxFails++
+	e.FeedbackProb = (1 - feedbackAlpha) * e.FeedbackProb
+}
+
+// Get returns the raw observed entry for id (derived fields zero).
+func (m *Monitor) Get(id NodeID) (LinkState, bool) {
+	e, ok := m.entries[id]
+	if !ok {
+		return LinkState{}, false
+	}
+	return *e, true
+}
+
+// Has reports whether id is currently a live link.
+func (m *Monitor) Has(id NodeID) bool {
+	_, ok := m.entries[id]
+	return ok
+}
+
+// Len returns the number of live links.
+func (m *Monitor) Len() int { return len(m.entries) }
+
+// Remove deletes the entry for id, if present, discarding its evidence.
+func (m *Monitor) Remove(id NodeID) { delete(m.entries, id) }
+
+// AppendIDs appends the ID of every live link to dst and returns it,
+// in map order — callers that act on the result must filter or sort it
+// before anything observable depends on the order. It exists so periodic
+// scanners (the netstack's link audit) can check membership without
+// paying Snapshot's copy and sort.
+func (m *Monitor) AppendIDs(dst []NodeID) []NodeID {
+	for id := range m.entries {
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// Snapshot returns all live entries sorted by ID (deterministic iteration
+// for reproducible routing decisions). Derived fields are zero; use States
+// for predictions.
+func (m *Monitor) Snapshot() []LinkState {
+	out := make([]LinkState, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// State returns the link state for id with derived predictions filled by
+// the estimator. It allocates nothing in steady state: the kinematic
+// lifetime is memoized per (epoch, beacon count) inside the entry.
+func (m *Monitor) State(id NodeID, obs Observer) (LinkState, bool) {
+	e, ok := m.entries[id]
+	if !ok {
+		return LinkState{}, false
+	}
+	return m.derive(e, obs), true
+}
+
+// States returns the link state of every live link, sorted by ID, with
+// derived predictions filled. The slice is freshly allocated (like the raw
+// Snapshot), so callers may keep it.
+func (m *Monitor) States(obs Observer) []LinkState {
+	out := make([]LinkState, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, m.derive(e, obs))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// derive copies the entry and fills the estimator-derived fields. The
+// kinematic memo is written back into the stored entry.
+func (m *Monitor) derive(e *LinkState, obs Observer) LinkState {
+	kin := m.kinematic(e, obs)
+	ls := *e
+	ls.Age = obs.Now - ls.LastSeen
+	p := m.est.Estimate(ls, obs, kin)
+	ls.Lifetime = p.Lifetime
+	ls.ReceiptProb = p.ReceiptProb
+	return ls
+}
+
+// kinematic returns the memoized Eqn (4) residual lifetime of the link,
+// solved on the neighbor's beaconed kinematics against the observer's
+// current ones. The cached solution is reused while the observer's
+// mobility epoch and the entry's beacon count are both unchanged — the
+// only events that can move either endpoint's kinematics.
+func (m *Monitor) kinematic(e *LinkState, obs Observer) float64 {
+	if e.lifeOK && e.lifeEpoch == obs.Epoch && e.lifeBeacons == e.Beacons {
+		return e.lifeVal
+	}
+	v := link.LifetimeVec(e.Pos, e.Vel, obs.Pos, obs.Vel, m.rangeM)
+	e.lifeOK = true
+	e.lifeEpoch = obs.Epoch
+	e.lifeBeacons = e.Beacons
+	e.lifeVal = v
+	return v
+}
+
+// Expire removes entries not refreshed since now−ttl and returns their IDs
+// (sorted, deterministic).
+func (m *Monitor) Expire(now float64) []NodeID {
+	if now-m.oldest <= m.ttl {
+		return nil // even the oldest possible entry is still fresh
+	}
+	var gone []NodeID
+	min := math.Inf(1)
+	for id, e := range m.entries {
+		if now-e.LastSeen > m.ttl {
+			gone = append(gone, id)
+			delete(m.entries, id)
+		} else if e.LastSeen < min {
+			min = e.LastSeen
+		}
+	}
+	m.oldest = min
+	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	return gone
+}

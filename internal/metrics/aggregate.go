@@ -76,6 +76,10 @@ type Aggregate struct {
 	ControlTotal  Stat
 	Joins         Stat
 	Leaves        Stat
+	LinkSamples   Stat
+	LinkMAE       Stat
+	LinkBias      Stat
+	LinkCensored  Stat
 }
 
 // AggregateSummaries folds per-seed summaries (typically one per
@@ -114,5 +118,9 @@ func AggregateSummaries(sums []Summary) Aggregate {
 		ControlTotal:  col(func(s Summary) float64 { return float64(s.ControlTotal) }),
 		Joins:         col(func(s Summary) float64 { return float64(s.Joins) }),
 		Leaves:        col(func(s Summary) float64 { return float64(s.Leaves) }),
+		LinkSamples:   col(func(s Summary) float64 { return float64(s.LinkSamples) }),
+		LinkMAE:       col(func(s Summary) float64 { return s.LinkMAE }),
+		LinkBias:      col(func(s Summary) float64 { return s.LinkBias }),
+		LinkCensored:  col(func(s Summary) float64 { return float64(s.LinkCensored) }),
 	}
 }

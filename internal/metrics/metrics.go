@@ -42,6 +42,14 @@ type Collector struct {
 	NodeJoins  int // nodes that joined the world mid-run
 	NodeLeaves int // nodes that left the world mid-run
 
+	// link-prediction accuracy (populated only when the world's link audit
+	// is enabled; see netstack.World.EnableLinkAudit)
+	LinkSamples  int // resolved predicted-vs-observed lifetime samples
+	LinkCensored int // samples unresolved when the run ended
+	linkAbsErr   float64
+	linkSgnErr   float64
+	linkBuckets  [len(LinkBucketEdges) + 1]CalBucket
+
 	delays    []float64 // seconds, one per delivered packet
 	hops      []int     // hop counts of delivered packets
 	pathLives []float64 // observed lifetimes of established paths
@@ -86,6 +94,78 @@ func (c *Collector) OnControl(kind string, bytes int) {
 // OnPathLifetime records the observed lifetime of an established path.
 func (c *Collector) OnPathLifetime(seconds float64) {
 	c.pathLives = append(c.pathLives, seconds)
+}
+
+// LinkBucketEdges are the predicted-lifetime boundaries (seconds) of the
+// calibration buckets: bucket i holds predictions in [edge(i-1), edge(i)).
+var LinkBucketEdges = [...]float64{2, 5, 10, 20}
+
+// CalBucket accumulates one calibration bucket of the link audit: how
+// many predictions landed in the bucket's predicted-lifetime range and
+// what predicted/observed lifetimes they averaged.
+type CalBucket struct {
+	N       int
+	PredSum float64
+	ObsSum  float64
+}
+
+// MeanPred returns the bucket's mean predicted lifetime.
+func (b CalBucket) MeanPred() float64 {
+	if b.N == 0 {
+		return 0
+	}
+	return b.PredSum / float64(b.N)
+}
+
+// MeanObs returns the bucket's mean observed lifetime.
+func (b CalBucket) MeanObs() float64 {
+	if b.N == 0 {
+		return 0
+	}
+	return b.ObsSum / float64(b.N)
+}
+
+// OnLinkPrediction records one resolved link-lifetime prediction: pred is
+// the residual lifetime the estimator claimed at sample time, obs the
+// ground-truth lifetime the world observed (both capped at the audit
+// horizon by the caller).
+func (c *Collector) OnLinkPrediction(pred, obs float64) {
+	c.LinkSamples++
+	d := pred - obs
+	c.linkAbsErr += math.Abs(d)
+	c.linkSgnErr += d
+	i := 0
+	for i < len(LinkBucketEdges) && pred >= LinkBucketEdges[i] {
+		i++
+	}
+	c.linkBuckets[i].N++
+	c.linkBuckets[i].PredSum += pred
+	c.linkBuckets[i].ObsSum += obs
+}
+
+// LinkMAE returns the mean absolute error of the audited lifetime
+// predictions in seconds.
+func (c *Collector) LinkMAE() float64 {
+	if c.LinkSamples == 0 {
+		return 0
+	}
+	return c.linkAbsErr / float64(c.LinkSamples)
+}
+
+// LinkBias returns the mean signed error (predicted − observed) of the
+// audited lifetime predictions: positive means the estimator is
+// optimistic.
+func (c *Collector) LinkBias() float64 {
+	if c.LinkSamples == 0 {
+		return 0
+	}
+	return c.linkSgnErr / float64(c.LinkSamples)
+}
+
+// LinkCalibration returns the calibration buckets, indexed by predicted
+// lifetime against LinkBucketEdges.
+func (c *Collector) LinkCalibration() [len(LinkBucketEdges) + 1]CalBucket {
+	return c.linkBuckets
 }
 
 // PDR returns the packet delivery ratio in [0,1].
@@ -182,6 +262,15 @@ type Summary struct {
 	// entered or left the world mid-run. Both are zero for closed worlds.
 	Joins  int
 	Leaves int
+	// Link-prediction accuracy from the world's link audit (all zero when
+	// the audit is disabled): resolved sample count, mean absolute error
+	// and mean signed error of predicted residual lifetimes in seconds,
+	// run-end-censored samples, and the calibration buckets.
+	LinkSamples     int
+	LinkMAE         float64
+	LinkBias        float64
+	LinkCensored    int
+	LinkCalibration [len(LinkBucketEdges) + 1]CalBucket
 	// Control is the per-type control transmission count (RREQ, RREP, ...),
 	// a copy of the collector's map.
 	Control map[string]int
@@ -195,27 +284,32 @@ func (c *Collector) Summarize(protocol, scenario string) Summary {
 		ctl[k] = v
 	}
 	return Summary{
-		Protocol:      protocol,
-		Scenario:      scenario,
-		PDR:           c.PDR(),
-		MeanDelay:     c.MeanDelay(),
-		P95Delay:      c.P95Delay(),
-		MeanHops:      c.MeanHops(),
-		Overhead:      c.OverheadRatio(),
-		DupRatio:      c.DuplicateRatio(),
-		CollisionRate: c.CollisionRate(),
-		Discoveries:   c.RouteDiscoveries,
-		Breaks:        c.RouteBreaks,
-		Repairs:       c.RouteRepairs,
-		PathLifetime:  c.MeanPathLifetime(),
-		DataSent:      c.DataSent,
-		DataDelivered: c.DataDelivered,
-		DataForwarded: c.DataForwarded,
-		MACTransmits:  c.MACTransmits,
-		ControlTotal:  c.ControlTotal(),
-		Joins:         c.NodeJoins,
-		Leaves:        c.NodeLeaves,
-		Control:       ctl,
+		Protocol:        protocol,
+		Scenario:        scenario,
+		PDR:             c.PDR(),
+		MeanDelay:       c.MeanDelay(),
+		P95Delay:        c.P95Delay(),
+		MeanHops:        c.MeanHops(),
+		Overhead:        c.OverheadRatio(),
+		DupRatio:        c.DuplicateRatio(),
+		CollisionRate:   c.CollisionRate(),
+		Discoveries:     c.RouteDiscoveries,
+		Breaks:          c.RouteBreaks,
+		Repairs:         c.RouteRepairs,
+		PathLifetime:    c.MeanPathLifetime(),
+		DataSent:        c.DataSent,
+		DataDelivered:   c.DataDelivered,
+		DataForwarded:   c.DataForwarded,
+		MACTransmits:    c.MACTransmits,
+		ControlTotal:    c.ControlTotal(),
+		Joins:           c.NodeJoins,
+		Leaves:          c.NodeLeaves,
+		LinkSamples:     c.LinkSamples,
+		LinkMAE:         c.LinkMAE(),
+		LinkBias:        c.LinkBias(),
+		LinkCensored:    c.LinkCensored,
+		LinkCalibration: c.LinkCalibration(),
+		Control:         ctl,
 	}
 }
 

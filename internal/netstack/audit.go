@@ -1,0 +1,133 @@
+package netstack
+
+import (
+	"sort"
+
+	"github.com/vanetlab/relroute/internal/linkstate"
+)
+
+// Ground-truth link auditing: the world watches true geometry to measure
+// how good the reliability plane's lifetime predictions are. When a node
+// first holds a neighbor entry for a peer that is genuinely within radio
+// range, the audit samples the estimator's predicted residual lifetime;
+// when the true inter-node distance later crosses the range (or an
+// endpoint leaves the world), the observed lifetime is the elapsed time.
+// Prediction and observation are both capped at the audit horizon, which
+// bounds memory and removes the censoring bias long-lived links would
+// otherwise introduce. Samples feed metrics.Collector.OnLinkPrediction —
+// the MAE/bias/calibration block the link-accuracy experiment reports.
+//
+// The audit is opt-in (EnableLinkAudit): it draws no randomness, and when
+// disabled the per-step cost is one nil check, so default worlds — and
+// with them every golden experiment output — are unaffected.
+
+// linkSample is one open directed prediction: observer a sampled pred
+// seconds of residual lifetime for its link to b at time t0.
+type linkSample struct {
+	a, b NodeID
+	t0   float64
+	pred float64
+}
+
+// linkAudit tracks open samples. The slice preserves deterministic
+// open/close ordering (map iteration never decides anything observable);
+// idx provides O(1) membership. ids and cand are reused scratch buffers
+// for the per-step open scan, so a step that forms no new links costs no
+// allocations, sorting, or estimator work.
+type linkAudit struct {
+	horizon float64
+	open    []linkSample
+	idx     map[uint64]bool
+	ids     []linkstate.NodeID
+	cand    []linkstate.NodeID
+}
+
+func pairKey(a, b NodeID) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// EnableLinkAudit arms ground-truth link-break tracking with the given
+// horizon in seconds (<= 0 means 30): predictions and observations are
+// capped there. Call before Run.
+func (w *World) EnableLinkAudit(horizon float64) {
+	if horizon <= 0 {
+		horizon = 30
+	}
+	w.audit = &linkAudit{horizon: horizon, idx: make(map[uint64]bool)}
+}
+
+// auditStep advances the audit at the end of one mobility step: close
+// samples whose link broke in truth (or aged past the horizon), then open
+// samples for table entries without one. Iteration is node-ID ordered so
+// float accumulation in the collector is deterministic across runs.
+func (w *World) auditStep(now float64) {
+	a := w.audit
+	r := w.ch.MeanRange()
+	keep := a.open[:0]
+	for _, s := range a.open {
+		obs, peer := w.nodeByID(s.a), w.nodeByID(s.b)
+		broken := obs == nil || peer == nil || !obs.active || !peer.active ||
+			obs.pos.Dist(peer.pos) > r
+		elapsed := now - s.t0
+		if !broken && elapsed < a.horizon {
+			keep = append(keep, s)
+			continue
+		}
+		if elapsed > a.horizon {
+			elapsed = a.horizon
+		}
+		w.col.OnLinkPrediction(s.pred, elapsed)
+		delete(a.idx, pairKey(s.a, s.b))
+	}
+	a.open = keep
+	for _, n := range w.nodes {
+		if !n.active {
+			continue
+		}
+		// Filter first in map order (the filter is pure, so the order is
+		// unobservable), then sort only the usually-empty candidate set
+		// and run the estimator just for those — most steps form no new
+		// links, and the fast path touches no allocation or sort.
+		a.cand = a.cand[:0]
+		a.ids = n.mon.AppendIDs(a.ids[:0])
+		for _, id := range a.ids {
+			if a.idx[pairKey(n.id, id)] {
+				continue
+			}
+			peer := w.nodeByID(id)
+			if peer == nil || !peer.active || n.pos.Dist(peer.pos) > r {
+				continue // never open a sample on a link that is already down
+			}
+			a.cand = append(a.cand, id)
+		}
+		if len(a.cand) == 0 {
+			continue
+		}
+		sort.Slice(a.cand, func(i, j int) bool { return a.cand[i] < a.cand[j] })
+		obs := w.observer(n)
+		for _, id := range a.cand {
+			st, ok := n.mon.State(id, obs)
+			if !ok {
+				continue
+			}
+			pred := st.Lifetime
+			if pred > a.horizon {
+				pred = a.horizon
+			}
+			a.idx[pairKey(n.id, id)] = true
+			a.open = append(a.open, linkSample{a: n.id, b: id, t0: now, pred: pred})
+		}
+	}
+}
+
+// finishAudit records samples still open at the end of the run as
+// censored: the run ended before either a break or the horizon resolved
+// them, so they carry no usable observation.
+func (w *World) finishAudit() {
+	if w.audit == nil {
+		return
+	}
+	w.col.LinkCensored += len(w.audit.open)
+	w.audit.open = w.audit.open[:0]
+	clear(w.audit.idx)
+}

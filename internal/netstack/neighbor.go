@@ -1,116 +1,22 @@
 package netstack
 
-import (
-	"math"
-	"sort"
-
-	"github.com/vanetlab/relroute/internal/geom"
-)
+import "github.com/vanetlab/relroute/internal/linkstate"
 
 // Neighbor is one entry of a node's neighbor table, refreshed by HELLO
-// beacons. It carries exactly the state the surveyed protocols consume:
-// position and velocity (mobility/geographic categories), RSSI history
-// (REAR's receipt probability), and the node kind (infrastructure
-// category).
-type Neighbor struct {
-	ID       NodeID
-	Kind     NodeKind
-	Pos      geom.Vec2
-	Vel      geom.Vec2
-	RSSI     float64 // dBm of the latest beacon
-	MeanRSSI float64 // exponentially weighted RSSI average
-	LastSeen float64 // sim time of the latest beacon
-	Beacons  int     // beacons received from this neighbor
-}
+// beacons. It carries the state the surveyed protocols consume — position
+// and velocity (mobility/geographic categories), RSSI history (REAR's
+// receipt probability), the node kind (infrastructure category) — plus the
+// reliability plane's evidence and predictions.
+//
+// The table itself is the per-node linkstate.Monitor: the stack feeds it
+// beacons, MAC ARQ failure upcalls, and successful receptions, and the
+// configured Estimator derives residual-lifetime and receipt-probability
+// predictions from that evidence. Entries read through the raw accessors
+// (API.Neighbor, API.Neighbors, Router.OnBeacon) carry observed fields
+// only; API.LinkState and API.LinkStates fill the derived predictions.
+type Neighbor = linkstate.LinkState
 
-// NeighborTable tracks currently live neighbors of one node.
-type NeighborTable struct {
-	entries map[NodeID]*Neighbor
-	ttl     float64
-	// oldest is a lower bound on the minimum LastSeen of any entry. The
-	// per-tick expiry sweep compares it against now before iterating: a
-	// table whose oldest possible entry is still fresh cannot hold anything
-	// to expire, which skips the map scan on almost every tick. Refreshing
-	// an entry may leave the bound stale-low; that only costs one full
-	// sweep, which recomputes it exactly.
-	oldest float64
-}
-
-// NewNeighborTable returns a table whose entries expire ttl seconds after
-// the last beacon.
-func NewNeighborTable(ttl float64) *NeighborTable {
-	return &NeighborTable{entries: make(map[NodeID]*Neighbor), ttl: ttl, oldest: math.Inf(1)}
-}
-
-// Update inserts or refreshes an entry from a received beacon.
-func (t *NeighborTable) Update(id NodeID, kind NodeKind, pos, vel geom.Vec2, rssi, now float64) *Neighbor {
-	nb, ok := t.entries[id]
-	if !ok {
-		nb = &Neighbor{ID: id, MeanRSSI: rssi}
-		t.entries[id] = nb
-	}
-	if now < t.oldest {
-		t.oldest = now
-	}
-	nb.Kind = kind
-	nb.Pos = pos
-	nb.Vel = vel
-	nb.RSSI = rssi
-	// EWMA over beacons smooths shadowing; alpha 0.3 tracks mobility.
-	nb.MeanRSSI = 0.7*nb.MeanRSSI + 0.3*rssi
-	nb.LastSeen = now
-	nb.Beacons++
-	return nb
-}
-
-// Get returns the entry for id.
-func (t *NeighborTable) Get(id NodeID) (Neighbor, bool) {
-	nb, ok := t.entries[id]
-	if !ok {
-		return Neighbor{}, false
-	}
-	return *nb, true
-}
-
-// Has reports whether id is currently a live neighbor.
-func (t *NeighborTable) Has(id NodeID) bool {
-	_, ok := t.entries[id]
-	return ok
-}
-
-// Len returns the number of live entries.
-func (t *NeighborTable) Len() int { return len(t.entries) }
-
-// Remove deletes the entry for id, if present.
-func (t *NeighborTable) Remove(id NodeID) { delete(t.entries, id) }
-
-// Snapshot returns all live entries sorted by ID (deterministic iteration
-// for reproducible routing decisions).
-func (t *NeighborTable) Snapshot() []Neighbor {
-	out := make([]Neighbor, 0, len(t.entries))
-	for _, nb := range t.entries {
-		out = append(out, *nb)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-// Expire removes entries not refreshed since now−ttl and returns their IDs.
-func (t *NeighborTable) Expire(now float64) []NodeID {
-	if now-t.oldest <= t.ttl {
-		return nil // even the oldest possible entry is still fresh
-	}
-	var gone []NodeID
-	min := math.Inf(1)
-	for id, nb := range t.entries {
-		if now-nb.LastSeen > t.ttl {
-			gone = append(gone, id)
-			delete(t.entries, id)
-		} else if nb.LastSeen < min {
-			min = nb.LastSeen
-		}
-	}
-	t.oldest = min
-	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
-	return gone
-}
+// LinkState is the same record under its reliability-plane name: use it
+// when reading through API.LinkState/API.LinkStates, where the derived
+// Lifetime, ReceiptProb, and Age fields are filled by the estimator.
+type LinkState = linkstate.LinkState

@@ -5,39 +5,33 @@
 // the discrete-event engine.
 package netstack
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/vanetlab/relroute/internal/linkstate"
+)
 
 // NodeID identifies a node (vehicle, RSU, or bus). IDs are dense from 0.
-type NodeID int32
+// The type is owned by the reliability plane (internal/linkstate), which
+// sits below the netstack; this alias keeps protocol code spelling
+// netstack.NodeID.
+type NodeID = linkstate.NodeID
 
 // Broadcast is the link-layer broadcast destination.
 const Broadcast NodeID = -1
 
 // NodeKind distinguishes the node roles the survey's categories rely on.
-type NodeKind int
+type NodeKind = linkstate.NodeKind
 
+// Node kinds, re-exported from the reliability plane.
 const (
 	// Vehicle is an ordinary car.
-	Vehicle NodeKind = iota + 1
+	Vehicle = linkstate.Vehicle
 	// RSU is a fixed road-side unit with backbone connectivity (Sec. V).
-	RSU
+	RSU = linkstate.RSU
 	// BusNode is a message-ferry bus on a regular route (Sec. V, Kitani).
-	BusNode
+	BusNode = linkstate.BusNode
 )
-
-// String implements fmt.Stringer.
-func (k NodeKind) String() string {
-	switch k {
-	case Vehicle:
-		return "vehicle"
-	case RSU:
-		return "rsu"
-	case BusNode:
-		return "bus"
-	default:
-		return "unknown"
-	}
-}
 
 // Common packet kind names used for metrics accounting. Protocols may
 // define additional kinds; these cover the survey's control packet

@@ -87,19 +87,37 @@ func (a *API) Pos() geom.Vec2 { return a.node.pos }
 // Vel returns this node's current velocity.
 func (a *API) Vel() geom.Vec2 { return a.node.vel }
 
-// Neighbors returns a sorted snapshot of the live neighbor table.
-func (a *API) Neighbors() []Neighbor { return a.node.nbrs.Snapshot() }
+// Neighbors returns a sorted snapshot of the live neighbor table (observed
+// fields only; use LinkStates for the reliability plane's predictions).
+func (a *API) Neighbors() []Neighbor { return a.node.mon.Snapshot() }
 
-// Neighbor looks up one neighbor entry.
-func (a *API) Neighbor(id NodeID) (Neighbor, bool) { return a.node.nbrs.Get(id) }
+// Neighbor looks up one neighbor entry (observed fields only).
+func (a *API) Neighbor(id NodeID) (Neighbor, bool) { return a.node.mon.Get(id) }
 
 // HasNeighbor reports whether id is currently a live neighbor.
-func (a *API) HasNeighbor(id NodeID) bool { return a.node.nbrs.Has(id) }
+func (a *API) HasNeighbor(id NodeID) bool { return a.node.mon.Has(id) }
 
 // ForgetNeighbor removes id from the neighbor table immediately (without
 // firing OnNeighborExpired — the caller already knows). Routers blacklist
-// stale neighbors this way after a transmission failure.
-func (a *API) ForgetNeighbor(id NodeID) { a.node.nbrs.Remove(id) }
+// stale neighbors this way after a transmission failure. The reliability
+// plane's evidence for the link is discarded with the entry.
+func (a *API) ForgetNeighbor(id NodeID) { a.node.mon.Remove(id) }
+
+// LinkState returns the reliability plane's estimate for the link to id:
+// the neighbor entry with Age, predicted residual Lifetime, and
+// ReceiptProb filled by the world's configured estimator (Config.Estimator,
+// default "composite"). The kinematic lifetime behind it is memoized per
+// mobility epoch, so repeated queries within one routing decision are
+// cheap and allocation-free.
+func (a *API) LinkState(id NodeID) (LinkState, bool) {
+	return a.node.mon.State(id, a.world.observer(a.node))
+}
+
+// LinkStates returns the estimate for every live neighbor, sorted by ID —
+// the same iteration order as Neighbors, with predictions filled.
+func (a *API) LinkStates() []LinkState {
+	return a.node.mon.States(a.world.observer(a.node))
+}
 
 // Send transmits pkt on the link layer. to is a node ID or Broadcast. The
 // stack fills From/To, charges metrics by packet type, and hands the frame

@@ -6,6 +6,7 @@ import (
 
 	"github.com/vanetlab/relroute/internal/channel"
 	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/linkstate"
 	"github.com/vanetlab/relroute/internal/mac"
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/mobility"
@@ -35,6 +36,11 @@ type Config struct {
 	// service in seconds; lookups return positions up to this stale.
 	// Zero means 1.0.
 	LocationStaleness float64
+	// Estimator selects the reliability plane's link-quality estimator by
+	// registry name (see linkstate.Names). Empty means "composite": the
+	// kinematic Eqn (4) lifetime plus the RSSI receipt model — exactly the
+	// predictions the protocols computed before the plane existed.
+	Estimator string
 }
 
 func (c Config) tick() float64 {
@@ -70,7 +76,7 @@ type node struct {
 	id      NodeID
 	kind    NodeKind
 	router  Router
-	nbrs    *NeighborTable
+	mon     *linkstate.Monitor
 	pos     geom.Vec2
 	vel     geom.Vec2
 	rngSeed int64              // drawn at addNode; see random
@@ -119,6 +125,12 @@ type World struct {
 	nodes []*node
 	byVeh []*node // vehicle ID → node; vehicle IDs are dense from 0
 	uid   uint64
+
+	// est is the shared link-quality estimator every node's Monitor
+	// predicts with (Config.Estimator); audit is the optional ground-truth
+	// link-break tracker behind the link-accuracy experiment.
+	est   linkstate.Estimator
+	audit *linkAudit
 
 	// open-world membership: when joinFactory is non-nil the world is
 	// open — vehicles appearing in the mobility model after the run
@@ -170,6 +182,10 @@ func NewWorld(cfg Config, model mobility.Model) *World {
 		ch:    ch,
 		col:   col,
 	}
+	// The reliability plane's estimator is shared by every node's Monitor.
+	// Unknown names are a programmer error (scenario.Build validates user
+	// input before it reaches here).
+	w.est = linkstate.MustNew(cfg.Estimator, linkstate.Config{Range: ch.MeanRange()})
 	// The radio link cache is the world's shared transmit fast path: the
 	// MAC resolves every frame (data and beacons alike) against it, and the
 	// world owns its invalidation — each mobility step's grid updates, plus
@@ -301,8 +317,8 @@ func (w *World) addNode(kind NodeKind, pos, vel geom.Vec2, r Router, vehID mobil
 	id := NodeID(len(w.nodes))
 	n := &node{
 		id: id, kind: kind, router: r,
-		nbrs: NewNeighborTable(w.cfg.neighborTTL()),
-		pos:  pos, vel: vel,
+		mon: linkstate.NewMonitor(w.cfg.neighborTTL(), w.ch.MeanRange(), w.est),
+		pos: pos, vel: vel,
 		rngSeed: w.eng.RandSeed(),
 		vehID:   vehID,
 		active:  true,
@@ -448,6 +464,7 @@ func (w *World) Run(duration float64) error {
 	if err := w.eng.Run(duration); err != nil {
 		return fmt.Errorf("netstack: run: %w", err)
 	}
+	w.finishAudit()
 	return nil
 }
 
@@ -509,10 +526,20 @@ func (w *World) step(dt float64) {
 		if !n.active {
 			continue
 		}
-		for _, gone := range n.nbrs.Expire(now) {
+		for _, gone := range n.mon.Expire(now) {
 			n.router.OnNeighborExpired(gone)
 		}
 	}
+	if w.audit != nil {
+		w.auditStep(now)
+	}
+}
+
+// observer packages a node's current kinematics for the reliability
+// plane: the mobility epoch (the spatial grid's) keys the kinematic
+// lifetime memo, since node positions only move when the grid does.
+func (w *World) observer(n *node) linkstate.Observer {
+	return linkstate.Observer{Pos: n.pos, Vel: n.vel, Now: w.eng.Now(), Epoch: w.grid.Epoch()}
 }
 
 // joinVehicle creates a node for a vehicle that entered the mobility model
@@ -645,6 +672,9 @@ func (w *World) txFailed(from int32, f mac.Frame) {
 	if !ok || pkt.Kind == KindHello {
 		return
 	}
+	// feed the reliability plane before the router reacts (the router may
+	// ForgetNeighbor, discarding the entry the evidence belongs to)
+	n.mon.RecordSendFailed(NodeID(f.To))
 	n.router.OnSendFailed(pkt.Clone(), NodeID(f.To))
 }
 
@@ -669,10 +699,13 @@ func (w *World) dispatch(to int32, f mac.Frame) {
 		}
 		d := n.pos.Dist(b.pos)
 		rssi := w.ch.RSSI(d, n.random())
-		nb := n.nbrs.Update(pkt.From, b.kind, b.pos, b.vel, rssi, w.eng.Now())
+		nb := n.mon.Update(pkt.From, b.kind, b.pos, b.vel, rssi, w.eng.Now())
 		n.router.OnBeacon(*nb)
 		return
 	}
+	// a decoded non-beacon frame is positive link feedback for the
+	// reliability plane (no-op until the sender has been heard beaconing)
+	n.mon.RecordReceived(pkt.From)
 	// Hand the router its own mutable copy, drawn from the pool; the
 	// router owns it and may hand it back via API.Release when its
 	// journey provably ends.

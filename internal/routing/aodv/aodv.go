@@ -110,7 +110,9 @@ func (r *Router) Originate(dst netstack.NodeID, size int) {
 		r.API.Send(rt.NextHop, pkt)
 		return
 	}
-	r.pending.Push(dst, pkt)
+	if ev := r.pending.Push(dst, pkt); ev != nil {
+		r.API.Drop(ev)
+	}
 	r.startDiscovery(dst)
 }
 

@@ -78,7 +78,9 @@ func (r *Router) Originate(dst netstack.NodeID, size int) {
 		r.sendAlong(pkt, path)
 		return
 	}
-	r.pending.Push(dst, pkt)
+	if ev := r.pending.Push(dst, pkt); ev != nil {
+		r.API.Drop(ev)
+	}
 	r.startDiscovery(dst)
 }
 

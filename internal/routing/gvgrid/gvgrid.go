@@ -81,13 +81,16 @@ func (r *Router) Attach(api *netstack.API) {
 	api.After(0.5+api.Rand().Float64()*0.1, sweep)
 }
 
-// linkReliability returns P(link to nb survives the delay bound) under the
-// protocol's probability model: relative speed ~ N(observed Δv, σ²), gap
-// and range from beacon state.
-func (r *Router) linkReliability(nb netstack.Neighbor) float64 {
-	axis := nb.Pos.Sub(r.API.Pos())
+// linkReliability returns P(link to the beaconed neighbor survives the
+// delay bound) under the protocol's probability model: relative speed
+// ~ N(observed Δv, σ²), gap and range from the reliability plane's link
+// state. The model is GVGrid's own sign convention (self behind the
+// neighbor along the axis toward it), so it stays local rather than using
+// linkstate.Survival.
+func (r *Router) linkReliability(ls netstack.LinkState) float64 {
+	axis := ls.Pos.Sub(r.API.Pos())
 	gap := axis.Len()
-	relSpeed := geom.Project(r.API.Vel().Sub(nb.Vel), axis)
+	relSpeed := geom.Project(r.API.Vel().Sub(ls.Vel), axis)
 	model := prob.LinkDurationModel{
 		RelSpeed: prob.Normal{Mu: relSpeed, Sigma: r.speedStd},
 		Gap:      -gap, // self behind neighbor along the axis toward it
@@ -162,6 +165,9 @@ func (r *Router) route(pkt *netstack.Packet) {
 	myCellD := cellDist(cx, cy)
 	best := netstack.Broadcast
 	bestScore := -1.0
+	// raw snapshot: linkReliability runs GVGrid's own model over the
+	// observed fields, so paying the estimator derivation per packet
+	// would buy nothing
 	for _, nb := range r.API.Neighbors() {
 		nx, ny := r.cellOf(nb.Pos)
 		cd := cellDist(nx, ny)

@@ -6,20 +6,24 @@ import (
 )
 
 // LinkLifetime predicts the remaining lifetime of the link between this
-// node and neighbor id, solving Eqn (4) on the kinematics advertised in
-// the neighbor's latest beacon. It returns 0 when id is not a live
-// neighbor (the link is already considered down) and link.Forever when the
-// relative velocity is zero.
+// node and neighbor id through the reliability plane: the value is the
+// world's configured estimator's residual-lifetime prediction (the
+// default composite estimator solves Eqn (4) on the kinematics advertised
+// in the neighbor's latest beacon, memoized per mobility epoch). It
+// returns 0 when id is not a live neighbor (the link is already
+// considered down) and link.Forever when the link never breaks under the
+// model.
 func LinkLifetime(api *netstack.API, id netstack.NodeID) float64 {
-	nb, ok := api.Neighbor(id)
+	ls, ok := api.LinkState(id)
 	if !ok {
 		return 0
 	}
-	return link.LifetimeVec(nb.Pos, nb.Vel, api.Pos(), api.Vel(), api.RangeEstimate())
+	return ls.Lifetime
 }
 
 // LinkLifetimeBetween predicts the lifetime of the link between two of
-// this node's neighbors a and b, from their beaconed kinematics.
+// this node's neighbors a and b, from their beaconed kinematics. Third-
+// party links have no monitor entry, so this solves Eqn (4) directly.
 func LinkLifetimeBetween(api *netstack.API, a, b netstack.Neighbor) float64 {
 	return link.LifetimeVec(a.Pos, a.Vel, b.Pos, b.Vel, api.RangeEstimate())
 }

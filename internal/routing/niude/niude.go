@@ -24,9 +24,8 @@ package niude
 import (
 	"math"
 
-	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/linkstate"
 	"github.com/vanetlab/relroute/internal/netstack"
-	"github.com/vanetlab/relroute/internal/prob"
 	"github.com/vanetlab/relroute/internal/routing"
 )
 
@@ -115,23 +114,12 @@ func New(opts ...Option) netstack.RouterFactory {
 // Name implements netstack.Router.
 func (r *Router) Name() string { return "NiuDe" }
 
-// linkAvailability returns P(link to the node at fromPos/fromVel survives
-// the reliability horizon) under the Sec. VII model.
-func (r *Router) linkAvailability(fromPos, fromVel geom.Vec2) float64 {
-	axis := fromPos.Sub(r.API.Pos())
-	gap := axis.Len()
-	rng := r.API.RangeEstimate()
-	if gap > rng {
-		return 0
-	}
-	rel := geom.Project(r.API.Vel().Sub(fromVel), axis)
-	model := prob.LinkDurationModel{
-		RelSpeed: prob.Normal{Mu: -rel, Sigma: r.speedSigma},
-		Gap:      gap,
-		Range:    rng,
-		Horizon:  600,
-	}
-	return model.SurvivalProb(r.horizon)
+// linkAvailability returns P(link to the beaconed neighbor survives the
+// reliability horizon) under the Sec. VII model, via the reliability
+// plane's shared survival helper.
+func (r *Router) linkAvailability(ls netstack.LinkState) float64 {
+	obs := linkstate.Observer{Pos: r.API.Pos(), Vel: r.API.Vel(), Now: r.API.Now()}
+	return linkstate.Survival(obs, ls, r.speedSigma, r.API.RangeEstimate(), 600, r.horizon)
 }
 
 // hopDelay estimates this relay's forwarding delay: base transmission plus
@@ -158,7 +146,9 @@ func (r *Router) Originate(dst netstack.NodeID, size int) {
 		r.API.Send(rt.NextHop, pkt)
 		return
 	}
-	r.pending.Push(dst, pkt)
+	if ev := r.pending.Push(dst, pkt); ev != nil {
+		r.API.Drop(ev)
+	}
 	r.startDiscovery(dst)
 }
 
@@ -226,8 +216,8 @@ func (r *Router) handleRREQ(pkt *netstack.Packet) {
 	now := r.API.Now()
 	// fold in the link just traversed
 	avail := 0.0
-	if nb, okNb := r.API.Neighbor(pkt.From); okNb {
-		avail = r.linkAvailability(nb.Pos, nb.Vel)
+	if ls, okLs := r.API.LinkState(pkt.From); okLs {
+		avail = r.linkAvailability(ls)
 	}
 	reliability := req.Reliability * avail
 	delay := req.Delay + r.hopDelay()

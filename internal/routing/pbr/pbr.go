@@ -105,7 +105,9 @@ func (r *Router) Originate(dst netstack.NodeID, size int) {
 		r.API.Send(rt.NextHop, pkt)
 		return
 	}
-	r.pending.Push(dst, pkt)
+	if ev := r.pending.Push(dst, pkt); ev != nil {
+		r.API.Drop(ev)
+	}
 	r.startDiscovery(dst)
 }
 
@@ -171,8 +173,13 @@ func (r *Router) handleRREQ(pkt *netstack.Packet) {
 		return
 	}
 	now := r.API.Now()
-	// Fold in the lifetime of the link we just traversed (From → self).
-	lt := routing.MinLifetime(req.Lifetime, routing.LinkLifetime(r.API, pkt.From))
+	// Fold in the lifetime of the link we just traversed (From → self),
+	// as predicted by the reliability plane (absent neighbor = dead link).
+	lifeFrom := 0.0
+	if ls, okLs := r.API.LinkState(pkt.From); okLs {
+		lifeFrom = ls.Lifetime
+	}
+	lt := routing.MinLifetime(req.Lifetime, lifeFrom)
 	// Reverse route to origin, annotated with the predicted lifetime.
 	r.mergeReverse(routing.Route{
 		Dst: req.Origin, NextHop: pkt.From, Hops: pkt.Hops,

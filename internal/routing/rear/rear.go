@@ -18,9 +18,11 @@ import (
 type Option func(*Router)
 
 // WithReceiptModel overrides the signal model used to map RSSI to receipt
-// probability (default prob.DefaultReceiptModel).
+// probability. Without it the router consumes the reliability plane's
+// estimate (API.LinkState.ReceiptProb), which under the default composite
+// estimator is the same prob.DefaultReceiptModel mapping REAR always used.
 func WithReceiptModel(m prob.ReceiptModel) Option {
-	return func(r *Router) { r.model = m }
+	return func(r *Router) { r.model = &m }
 }
 
 // WithMinReceipt sets the minimum acceptable per-hop receipt probability
@@ -32,7 +34,7 @@ func WithMinReceipt(p float64) Option {
 // Router is a per-node REAR instance.
 type Router struct {
 	netstack.Base
-	model      prob.ReceiptModel
+	model      *prob.ReceiptModel // nil: use the reliability plane's estimate
 	minReceipt float64
 	carried    []*carriedPacket
 	started    bool
@@ -46,7 +48,7 @@ type carriedPacket struct {
 // New returns a REAR router factory.
 func New(opts ...Option) netstack.RouterFactory {
 	return func() netstack.Router {
-		r := &Router{model: prob.DefaultReceiptModel(), minReceipt: 0.2}
+		r := &Router{minReceipt: 0.2}
 		for _, o := range opts {
 			o(r)
 		}
@@ -72,10 +74,15 @@ func (r *Router) Attach(api *netstack.API) {
 	api.After(0.5+api.Rand().Float64()*0.1, sweep)
 }
 
-// receiptProb estimates the probability that a frame sent to nb is
-// received, from the EWMA of its beacon RSSI — REAR's core estimator.
-func (r *Router) receiptProb(nb netstack.Neighbor) float64 {
-	return r.model.ProbFromRSSI(nb.MeanRSSI)
+// receiptProb estimates the probability that a frame sent to the neighbor
+// is received. ls must come from API.LinkState/LinkStates: by default the
+// reliability plane's prediction is consumed directly; a router-local
+// model (WithReceiptModel) overrides it from the same smoothed RSSI.
+func (r *Router) receiptProb(ls netstack.LinkState) float64 {
+	if r.model != nil {
+		return r.model.ProbFromRSSI(ls.MeanRSSI)
+	}
+	return ls.ReceiptProb
 }
 
 // Originate implements netstack.Router.
@@ -113,7 +120,7 @@ func (r *Router) HandlePacket(pkt *netstack.Packet) {
 // probability; with no candidate it carries briefly (alarm messages must
 // survive short voids).
 func (r *Router) route(pkt *netstack.Packet) {
-	if nb, ok := r.API.Neighbor(pkt.Dst); ok && r.receiptProb(nb) >= r.minReceipt {
+	if ls, ok := r.API.LinkState(pkt.Dst); ok && r.receiptProb(ls) >= r.minReceipt {
 		r.API.Send(pkt.Dst, pkt)
 		return
 	}
@@ -125,7 +132,7 @@ func (r *Router) route(pkt *netstack.Packet) {
 	selfD := r.API.Pos().Dist(dstPos)
 	best := netstack.Broadcast
 	bestP := -1.0
-	for _, nb := range r.API.Neighbors() {
+	for _, nb := range r.API.LinkStates() {
 		if nb.Pos.Dist(dstPos) >= selfD {
 			continue // no progress
 		}
@@ -189,7 +196,7 @@ func (r *Router) tryOnce(pkt *netstack.Packet) bool {
 		return false
 	}
 	selfD := r.API.Pos().Dist(dstPos)
-	for _, nb := range r.API.Neighbors() {
+	for _, nb := range r.API.LinkStates() {
 		if nb.Pos.Dist(dstPos) < selfD && r.receiptProb(nb) >= r.minReceipt {
 			r.API.Send(nb.ID, pkt)
 			return true

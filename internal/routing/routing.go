@@ -73,19 +73,85 @@ type Route struct {
 	Expiry   float64 // sim time after which the route is stale; 0 = none
 	Valid    bool
 	Lifetime float64 // predicted remaining path lifetime (mobility protocols)
+
+	// deadAt is the sim time the route died (0 while alive); the lazy
+	// sweep ages dead entries against it. Invalidate and the Lookup
+	// expiry path stamp it exactly; a route killed by direct mutation of
+	// the Get pointer is stamped by the first sweep that observes it
+	// dead, so it always gets the full grace window.
+	deadAt float64
 }
 
-// Table is a per-node route table.
+// DefaultRouteRetention is how long an invalidated or expired route entry
+// is retained before the lazy sweep deletes it, in seconds. The retention
+// mirrors AODV's DELETE_PERIOD: dead entries keep their sequence numbers
+// visible to Get for a bounded grace window (loop freedom across repair
+// races), then go away — without it, per-node tables grow for the whole
+// run, worst under open-world churn where departed destinations would
+// otherwise linger forever.
+const DefaultRouteRetention = 30.0
+
+// Table is a per-node route table. Dead entries (invalidated or expired)
+// are garbage-collected by a lazy sweep driven off the time-bearing
+// accessors (Lookup, Destinations): once an entry has been dead for the
+// retention period it is deleted, bounding table growth under churn.
 type Table struct {
-	routes map[netstack.NodeID]*Route
+	routes    map[netstack.NodeID]*Route
+	retention float64
+	// lastNow is the latest sim time observed through any accessor;
+	// Invalidate (which takes no time argument) stamps death with it —
+	// exact whenever the protocol consults the table at the same event
+	// (they all do) and a safe under-estimate otherwise.
+	lastNow float64
+	sweepAt float64
 }
 
-// NewTable returns an empty route table.
+// NewTable returns an empty route table with the default retention.
 func NewTable() *Table {
-	return &Table{routes: make(map[netstack.NodeID]*Route)}
+	return &Table{routes: make(map[netstack.NodeID]*Route), retention: DefaultRouteRetention}
 }
 
-// Get returns the entry for dst, valid or not.
+// SetRetention changes how long dead entries are retained before the lazy
+// sweep removes them; zero or negative disables sweeping entirely (the
+// pre-plane unbounded behaviour).
+func (t *Table) SetRetention(seconds float64) { t.retention = seconds }
+
+// observe advances the table's time bound and runs the lazy sweep at most
+// once per retention period.
+func (t *Table) observe(now float64) {
+	if now > t.lastNow {
+		t.lastNow = now
+	}
+	if t.retention <= 0 || now < t.sweepAt {
+		return
+	}
+	t.sweepAt = now + t.retention
+	for dst, r := range t.routes {
+		if r.Valid && (r.Expiry == 0 || now <= r.Expiry) {
+			r.deadAt = 0 // alive (possibly resurrected by direct mutation)
+			continue
+		}
+		// The grace window runs from when the route died, not from its
+		// last table write. If death was never stamped (a protocol set
+		// Valid = false through the Get pointer), stamp it now: a route
+		// that expired on its own died at Expiry, anything else is first
+		// observed dead here.
+		if r.deadAt == 0 {
+			if r.Valid {
+				r.deadAt = r.Expiry
+			} else {
+				r.deadAt = now
+			}
+		}
+		if now-r.deadAt > t.retention {
+			delete(t.routes, dst)
+		}
+	}
+}
+
+// Get returns the entry for dst, valid or not. Dead entries remain
+// readable (sequence numbers, last hop counts) until the retention sweep
+// collects them.
 func (t *Table) Get(dst netstack.NodeID) (*Route, bool) {
 	r, ok := t.routes[dst]
 	return r, ok
@@ -93,12 +159,14 @@ func (t *Table) Get(dst netstack.NodeID) (*Route, bool) {
 
 // Lookup returns the entry only when it is valid and unexpired at now.
 func (t *Table) Lookup(dst netstack.NodeID, now float64) (*Route, bool) {
+	t.observe(now)
 	r, ok := t.routes[dst]
 	if !ok || !r.Valid {
 		return nil, false
 	}
 	if r.Expiry > 0 && now > r.Expiry {
 		r.Valid = false
+		r.deadAt = r.Expiry
 		return nil, false
 	}
 	return r, true
@@ -107,9 +175,16 @@ func (t *Table) Lookup(dst netstack.NodeID, now float64) (*Route, bool) {
 // Upsert inserts or replaces the entry for r.Dst and returns it.
 func (t *Table) Upsert(r Route) *Route {
 	cp := r
+	cp.deadAt = 0
+	if !cp.Valid {
+		cp.deadAt = t.lastNow // inserted already-dead: grace starts now
+	}
 	t.routes[r.Dst] = &cp
 	return &cp
 }
+
+// Remove deletes the entry for dst immediately, if present.
+func (t *Table) Remove(dst netstack.NodeID) { delete(t.routes, dst) }
 
 // Invalidate marks the route to dst broken; it reports whether a valid
 // route existed.
@@ -119,6 +194,7 @@ func (t *Table) Invalidate(dst netstack.NodeID) bool {
 		return false
 	}
 	r.Valid = false
+	r.deadAt = t.lastNow
 	return true
 }
 
@@ -129,6 +205,7 @@ func (t *Table) InvalidateVia(via netstack.NodeID) []netstack.NodeID {
 	for dst, r := range t.routes {
 		if r.Valid && r.NextHop == via {
 			r.Valid = false
+			r.deadAt = t.lastNow
 			out = append(out, dst)
 		}
 	}
@@ -138,6 +215,7 @@ func (t *Table) InvalidateVia(via netstack.NodeID) []netstack.NodeID {
 
 // Destinations returns all destinations with valid routes (sorted).
 func (t *Table) Destinations(now float64) []netstack.NodeID {
+	t.observe(now)
 	var out []netstack.NodeID
 	for dst, r := range t.routes {
 		if r.Valid && (r.Expiry == 0 || now <= r.Expiry) {
@@ -148,8 +226,21 @@ func (t *Table) Destinations(now float64) []netstack.NodeID {
 	return out
 }
 
-// Len returns the number of entries (including invalid ones).
+// Len returns the number of stored entries — valid routes plus dead ones
+// still inside the retention window. Use LenValid for the routable count.
 func (t *Table) Len() int { return len(t.routes) }
+
+// LenValid returns the number of valid, unexpired routes at now (without
+// mutating any entry).
+func (t *Table) LenValid(now float64) int {
+	n := 0
+	for _, r := range t.routes {
+		if r.Valid && (r.Expiry == 0 || now <= r.Expiry) {
+			n++
+		}
+	}
+	return n
+}
 
 // PendingQueue buffers data packets awaiting a route, per destination,
 // dropping the oldest beyond the cap and expiring packets after maxWait.
@@ -171,8 +262,16 @@ func NewPendingQueue(capPerDst int, maxWait float64) *PendingQueue {
 	return &PendingQueue{cap: capPerDst, maxWait: maxWait, byDst: make(map[netstack.NodeID][]*netstack.Packet)}
 }
 
-// Push buffers pkt for dst. It returns the packet evicted to make room, if
-// any.
+// Push buffers pkt for dst. When the per-destination cap is reached the
+// oldest buffered packet is evicted and returned; the queue keeps no
+// reference to it.
+//
+// Contract: the caller owns the evicted packet and must terminate its
+// journey — Drop it (so the loss is counted) and, if the caller owns it
+// exclusively, optionally Release it back to the pool. Ignoring the
+// return value leaks the packet from the accounting: it was accepted from
+// the application but silently vanishes from both the delivered and
+// dropped columns.
 func (q *PendingQueue) Push(dst netstack.NodeID, pkt *netstack.Packet) (evicted *netstack.Packet) {
 	list := q.byDst[dst]
 	if len(list) >= q.cap {

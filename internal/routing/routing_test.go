@@ -39,6 +39,7 @@ func TestDupCacheExpiry(t *testing.T) {
 }
 
 func TestSeqNewer(t *testing.T) {
+	const max32 = 4294967295
 	tests := []struct {
 		a, b uint32
 		want bool
@@ -46,12 +47,33 @@ func TestSeqNewer(t *testing.T) {
 		{2, 1, true},
 		{1, 2, false},
 		{5, 5, false},
-		{0, 4294967295, true}, // wraparound: 0 is fresher than max
-		{4294967295, 0, false},
+		{0, max32, true}, // wraparound: 0 is fresher than max
+		{max32, 0, false},
+		// the circular comparison holds across the whole wrap window:
+		// anything within half the space ahead is newer
+		{100, max32 - 100, true},
+		{max32 - 100, 100, false},
+		{max32, max32 - 1, true},
+		{max32 - 1, max32, false},
+		{0, 0, false},
+		{max32, max32, false},
+		// exactly half the space apart: int32(a−b) is MinInt32 (negative),
+		// so neither direction reports newer-than in that direction
+		{1 << 31, 0, false},
+		// ... and one past half flips the comparison
+		{1<<31 + 1, 0, false},
+		{0, 1<<31 + 1, true},
 	}
 	for _, tc := range tests {
 		if got := SeqNewer(tc.a, tc.b); got != tc.want {
 			t.Errorf("SeqNewer(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	// antisymmetry everywhere except the ambiguous half-distance point
+	for _, d := range []uint32{1, 2, 1000, 1<<31 - 1} {
+		a, b := uint32(7)+d, uint32(7)
+		if !SeqNewer(a, b) || SeqNewer(b, a) {
+			t.Errorf("antisymmetry broken at distance %d", d)
 		}
 	}
 }
@@ -78,6 +100,159 @@ func TestTableLookup(t *testing.T) {
 	if _, ok := tb.Lookup(6, 1e9); !ok {
 		t.Fatal("no-expiry route expired")
 	}
+}
+
+func TestTableLookupExpiryEdges(t *testing.T) {
+	tb := NewTable()
+	tb.Upsert(Route{Dst: 1, NextHop: 2, Expiry: 10, Valid: true})
+	// Expiry == now is inclusive: the route is still usable at the instant
+	// it expires (Lookup invalidates only strictly past it)
+	if _, ok := tb.Lookup(1, 10); !ok {
+		t.Fatal("route invalid at Expiry == now")
+	}
+	if rt, _ := tb.Get(1); !rt.Valid {
+		t.Fatal("boundary lookup invalidated the route")
+	}
+	// the first instant strictly past Expiry kills it
+	if _, ok := tb.Lookup(1, 10.000001); ok {
+		t.Fatal("route survived past Expiry")
+	}
+	if rt, _ := tb.Get(1); rt.Valid {
+		t.Fatal("expired route still marked valid")
+	}
+	// Expiry == 0 never expires, even at enormous now
+	tb.Upsert(Route{Dst: 2, NextHop: 3, Expiry: 0, Valid: true})
+	for _, now := range []float64{0, 1, 1e12} {
+		if _, ok := tb.Lookup(2, now); !ok {
+			t.Fatalf("zero-expiry route expired at now=%g", now)
+		}
+	}
+	// an invalid route is never returned regardless of expiry fields
+	tb.Upsert(Route{Dst: 3, NextHop: 4, Expiry: 0, Valid: false})
+	if _, ok := tb.Lookup(3, 0); ok {
+		t.Fatal("invalid route returned")
+	}
+}
+
+// TestTableSweepBoundsGrowth is the churn regression: destinations that
+// keep appearing and dying (the open-world pattern — departed vehicles
+// linger as invalidated routes) must not grow the table forever. The lazy
+// sweep driven by Lookup deletes entries dead longer than the retention.
+func TestTableSweepBoundsGrowth(t *testing.T) {
+	tb := NewTable()
+	tb.SetRetention(30)
+	now := 0.0
+	for i := 0; i < 1000; i++ {
+		dst := netstack.NodeID(i)
+		tb.Upsert(Route{Dst: dst, NextHop: 1, Expiry: now + 5, Valid: true})
+		tb.Invalidate(dst) // the destination departed
+		now += 1
+		tb.Lookup(dst, now) // any time-bearing access drives the sweep
+	}
+	// 1000 destinations died over 1000 s; with 30 s retention and a sweep
+	// per retention period, the table holds at most ~2 windows of dead
+	// entries at any moment
+	if tb.Len() > 100 {
+		t.Fatalf("table grew to %d entries; sweep not collecting", tb.Len())
+	}
+	if got := tb.LenValid(now); got != 0 {
+		t.Fatalf("LenValid = %d, want 0 (everything invalidated)", got)
+	}
+}
+
+func TestTableSweepSparesLiveAndRecentRoutes(t *testing.T) {
+	tb := NewTable()
+	tb.SetRetention(10)
+	tb.Lookup(0, 0)                                                // establish the time bound
+	tb.Upsert(Route{Dst: 1, NextHop: 2, Valid: true})              // alive forever
+	tb.Upsert(Route{Dst: 2, NextHop: 2, Expiry: 100, Valid: true}) // alive until 100
+	tb.Upsert(Route{Dst: 3, NextHop: 2, Valid: true})
+	tb.Lookup(0, 50)
+	tb.Invalidate(3) // dies at 50
+	// at 55 the sweep may run, but dst 3 has only been dead 5 s
+	tb.Lookup(0, 55)
+	if tb.Len() != 3 {
+		t.Fatalf("recently dead entry collected early: len=%d", tb.Len())
+	}
+	// well past retention: dst 3 goes, the two live routes stay
+	tb.Lookup(0, 75)
+	tb.Lookup(0, 90)
+	if _, ok := tb.Get(3); ok {
+		t.Fatal("dead entry outlived retention")
+	}
+	if _, ok := tb.Get(1); !ok {
+		t.Fatal("no-expiry live route collected")
+	}
+	if _, ok := tb.Get(2); !ok {
+		t.Fatal("live route collected")
+	}
+	// retention <= 0 disables sweeping entirely
+	tb2 := NewTable()
+	tb2.SetRetention(0)
+	tb2.Upsert(Route{Dst: 1, NextHop: 2, Valid: true})
+	tb2.Invalidate(1)
+	tb2.Lookup(0, 1e6)
+	if tb2.Len() != 1 {
+		t.Fatal("disabled sweep still collected")
+	}
+}
+
+// TestTableSweepGraceFromDeath pins the DELETE_PERIOD semantics: the
+// retention window of a naturally-expired route runs from its Expiry (the
+// moment it died), not from its last table write — an entry that sat
+// untouched while alive still gets the full grace window dead.
+func TestTableSweepGraceFromDeath(t *testing.T) {
+	tb := NewTable()
+	tb.SetRetention(30)
+	tb.Lookup(0, 0)                                               // arm the sweep clock
+	tb.Upsert(Route{Dst: 1, NextHop: 2, Expiry: 40, Valid: true}) // touched at 0
+	// dead only 5 s at the t=45 sweep: must survive
+	tb.Lookup(0, 45)
+	if _, ok := tb.Get(1); !ok {
+		t.Fatal("expired route collected with zero grace")
+	}
+	// well past Expiry+retention: collected
+	tb.Lookup(0, 101)
+	if _, ok := tb.Get(1); ok {
+		t.Fatal("dead entry outlived Expiry + retention")
+	}
+}
+
+// TestTableSweepGraceAfterDirectMutation covers the DSDV/AODV pattern of
+// killing a route by writing Valid = false through the Get pointer: death
+// is stamped by the first sweep that observes it, so the entry still gets
+// a full grace window measured from that observation.
+func TestTableSweepGraceAfterDirectMutation(t *testing.T) {
+	tb := NewTable()
+	tb.SetRetention(30)
+	tb.Lookup(0, 0) // arm the sweep clock
+	tb.Upsert(Route{Dst: 1, NextHop: 2, Seq: 7, Valid: true})
+	rt, _ := tb.Get(1)
+	// protocol kills the route long after its last table write
+	tb.Lookup(0, 200)
+	rt.Valid = false
+	// first sweep past the kill observes the death; the entry must
+	// survive it with its Seq intact
+	tb.Lookup(0, 240)
+	if got, ok := tb.Get(1); !ok || got.Seq != 7 {
+		t.Fatal("directly-killed route collected with zero grace")
+	}
+	// a full retention after the observing sweep it is collected
+	tb.Lookup(0, 280)
+	tb.Lookup(0, 320)
+	if _, ok := tb.Get(1); ok {
+		t.Fatal("dead entry outlived its grace window")
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	tb := NewTable()
+	tb.Upsert(Route{Dst: 5, NextHop: 1, Valid: true})
+	tb.Remove(5)
+	if _, ok := tb.Get(5); ok || tb.Len() != 0 {
+		t.Fatal("Remove left the entry behind")
+	}
+	tb.Remove(5) // removing a missing entry is a no-op
 }
 
 func TestTableInvalidate(t *testing.T) {

@@ -106,7 +106,9 @@ func (r *Router) Originate(dst netstack.NodeID, size int) {
 		r.API.Send(rt.NextHop, pkt)
 		return
 	}
-	r.pending.Push(dst, pkt)
+	if ev := r.pending.Push(dst, pkt); ev != nil {
+		r.API.Drop(ev)
+	}
 	r.startDiscovery(dst)
 }
 
@@ -175,11 +177,17 @@ func (r *Router) handleRREQ(pkt *netstack.Packet) {
 		return
 	}
 	now := r.API.Now()
-	lt := routing.MinLifetime(req.MinLife, routing.LinkLifetime(r.API, pkt.From))
+	// one reliability-plane read serves both the lifetime fold and the
+	// velocity-group comparison of the previous hop
+	lifeFrom := 0.0
 	sameGroup := 0
-	if nb, okNb := r.API.Neighbor(pkt.From); okNb && link.HeadingGroup(nb.Vel) == r.group() {
-		sameGroup = 1
+	if ls, okLs := r.API.LinkState(pkt.From); okLs {
+		lifeFrom = ls.Lifetime
+		if link.HeadingGroup(ls.Vel) == r.group() {
+			sameGroup = 1
+		}
 	}
+	lt := routing.MinLifetime(req.MinLife, lifeFrom)
 	r.mergeReverse(routing.Route{
 		Dst: req.Origin, NextHop: pkt.From, Hops: pkt.Hops,
 		Expiry: now + capLife(lt), Valid: true, Lifetime: lt,

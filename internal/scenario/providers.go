@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/linkstate"
 	"github.com/vanetlab/relroute/internal/mobility"
 	"github.com/vanetlab/relroute/internal/netstack"
 	"github.com/vanetlab/relroute/internal/roadnet"
@@ -77,6 +78,9 @@ func topologyFor(k Kind) Topology {
 // experiment output.
 func BuildSpec(protocol string, spec Spec, opts Options) (*Scenario, error) {
 	opts.setDefaults()
+	if !linkstate.Known(opts.Estimator) {
+		return nil, fmt.Errorf("scenario: unknown link estimator %q (known: %v)", opts.Estimator, linkstate.Names())
+	}
 	if spec.Topology == nil {
 		spec.Topology = topologyFor(opts.Kind)
 	}
@@ -107,8 +111,9 @@ func BuildSpec(protocol string, spec Spec, opts Options) (*Scenario, error) {
 		}
 	}
 	world := netstack.NewWorld(netstack.Config{
-		Seed:    rng.Int63(),
-		Channel: ch,
+		Seed:      rng.Int63(),
+		Channel:   ch,
+		Estimator: opts.Estimator,
 	}, model)
 
 	label := spec.Name

@@ -120,6 +120,11 @@ type Options struct {
 	// Range is the unit-disk radio range in meters when Channel is nil
 	// (default 250).
 	Range float64
+	// Estimator selects the reliability plane's link-quality estimator by
+	// registry name ("kinematic", "receipt", "rssi", "composite"; see
+	// linkstate.Names). Empty means the composite default, whose
+	// predictions match the pre-plane protocol behaviour exactly.
+	Estimator string
 	// Channel overrides the propagation model.
 	Channel channel.Model
 	// Shadowing switches the default channel to log-normal shadowing.

@@ -32,6 +32,7 @@ import (
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/harness"
 	"github.com/vanetlab/relroute/internal/link"
+	"github.com/vanetlab/relroute/internal/linkstate"
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/mobility"
 	"github.com/vanetlab/relroute/internal/runner"
@@ -92,6 +93,34 @@ func Protocols() []string { return scenario.Protocols() }
 // open-world grid under a rush-hour arrival ramp) or "v2i" (roadside
 // servers with request/response traffic).
 func Scenarios() []string { return scenario.Names() }
+
+// Estimators lists the reliability plane's registered link-quality
+// estimator names, accepted by Options.Estimator: "kinematic" (Eqn 4 on
+// beaconed kinematics), "rssi" (signal-trend extrapolation), "receipt"
+// (MAC-feedback EWMA with an age-based residual), and "composite" (the
+// default: kinematic lifetime + RSSI receipt probability).
+func Estimators() []string { return linkstate.Names() }
+
+// LinkAccuracyCell is one (estimator, scenario) cell of the link-accuracy
+// experiment: prediction MAE/bias against ground-truth link breaks.
+type LinkAccuracyCell = harness.LinkAccCell
+
+// LinkAccuracy runs the estimator × scenario prediction-accuracy grid and
+// returns its cells (the structured form of the "link-accuracy"
+// experiment, used by vanetbench's linkacc subcommand).
+func LinkAccuracy(cfg ExperimentConfig) ([]LinkAccuracyCell, error) {
+	return harness.LinkAccuracyData(cfg)
+}
+
+// LinkAccuracyTable renders accuracy cells as the experiment's table —
+// the same renderer RunExperiment("link-accuracy") uses.
+func LinkAccuracyTable(cells []LinkAccuracyCell) *Table {
+	return harness.LinkAccuracyTable(cells)
+}
+
+// LinkAuditHorizon is the cap, in seconds, applied to both predicted and
+// observed residual lifetimes by the link-accuracy audit.
+const LinkAuditHorizon = harness.LinkAccuracyHorizon
 
 // ScenarioDescriptions maps each named scenario to its one-line
 // description, for listings.

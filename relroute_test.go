@@ -59,8 +59,19 @@ func TestRunExperimentFig1(t *testing.T) {
 }
 
 func TestExperimentsListed(t *testing.T) {
-	if got := len(relroute.Experiments()); got != 16 {
+	if got := len(relroute.Experiments()); got != 17 {
 		t.Fatalf("experiments = %d", got)
+	}
+}
+
+func TestEstimatorsListed(t *testing.T) {
+	names := relroute.Estimators()
+	if len(names) != 4 {
+		t.Fatalf("estimators = %v", names)
+	}
+	// an unknown estimator is rejected at build time, not at run time
+	if _, err := relroute.Run("Greedy", relroute.Options{Estimator: "nope", Duration: 1}); err == nil {
+		t.Fatal("unknown estimator accepted")
 	}
 }
 
