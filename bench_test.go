@@ -109,12 +109,31 @@ func BenchmarkProtocolHighway(b *testing.B) {
 // BenchmarkScaleVehicles measures how simulation cost grows with world
 // size under the flooding worst case.
 func BenchmarkScaleVehicles(b *testing.B) {
-	for _, n := range []int{25, 50, 100, 200, 500, 1000} {
+	for _, n := range []int{25, 50, 100, 200, 500, 1000, 2000} {
 		b.Run(strconv.Itoa(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := relroute.Run("Flooding", relroute.Options{
 					Seed: 1, Vehicles: n, HighwayLength: 2000,
 					Duration: 20, Flows: 2, FlowPackets: 5,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleVehiclesSharded is the same worst case with the step loop
+// fanned over four shards — the intra-run parallelism axis. Output is
+// byte-identical to the sequential rows (the shard tests pin that); only
+// wall-clock may differ, by up to the core count.
+func BenchmarkScaleVehiclesSharded(b *testing.B) {
+	for _, n := range []int{1000, 2000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := relroute.Run("Flooding", relroute.Options{
+					Seed: 1, Vehicles: n, HighwayLength: 2000,
+					Duration: 20, Flows: 2, FlowPackets: 5, Shards: 4,
 				}); err != nil {
 					b.Fatal(err)
 				}

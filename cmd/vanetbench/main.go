@@ -9,6 +9,8 @@
 //	vanetbench -list            # list experiment IDs
 //	vanetbench -quick           # smaller populations / shorter runs
 //	vanetbench -parallel 8      # bound the simulation worker pool
+//	vanetbench -shards 4        # shard each simulation's step loop
+//	                            # (outputs identical at any shard count)
 //
 //	vanetbench sweep -protocols Greedy,TBP-SS -vehicles 20,60 -seeds 5
 //	                            # protocol × density × seed grid with
@@ -116,6 +118,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		quick    = fs.Bool("quick", false, "reduced populations and durations")
 		parallel = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 1, "intra-run worker shards per simulation (output is identical for any value)")
 	)
 	startProfiles := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -136,7 +139,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel}
+	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards}
 	if *exp != "all" {
 		tab, err := relroute.RunExperiment(*exp, cfg)
 		if err != nil {
@@ -260,6 +263,7 @@ type scaleCell struct {
 	DensityKm   float64 `json:"density_veh_per_km"`
 	LengthM     float64 `json:"highway_length_m"`
 	Seeds       int     `json:"seeds"`
+	Shards      int     `json:"shards"`
 	MeanMs      float64 `json:"mean_ms"`
 	MinMs       float64 `json:"min_ms"`
 	PDR         float64 `json:"pdr"`
@@ -292,6 +296,7 @@ func runScale(args []string) error {
 		seed0     = fs.Int64("seed", 1, "first replication seed")
 		duration  = fs.Float64("duration", 20, "simulated seconds per run")
 		churn     = fs.Bool("churn", false, "add an open-world churn column (Poisson arrivals + departures) per cell")
+		shards    = fs.Int("shards", 1, "intra-run worker shards per simulation (output is identical for any value)")
 		jsonOut   = fs.String("json", "", "write a machine-readable report to this file")
 	)
 	startProfiles := profileFlags(fs)
@@ -329,8 +334,11 @@ func runScale(args []string) error {
 		}
 	}
 
+	if *shards < 1 {
+		*shards = 1
+	}
 	rep := scaleReport{Protocol: *protocol, Duration: *duration}
-	columns := []string{"vehicles", "veh/km", "length(m)", "mean ms/run", "min ms/run", "PDR"}
+	columns := []string{"vehicles", "veh/km", "length(m)", "shards", "mean ms/run", "min ms/run", "PDR"}
 	if *churn {
 		columns = append(columns, "churn ms/run", "churn PDR", "joins/leaves")
 	}
@@ -342,13 +350,13 @@ func runScale(args []string) error {
 	for _, d := range dens {
 		for _, v := range counts {
 			length := float64(v) / d * 1000
-			cell := scaleCell{Vehicles: v, DensityKm: d, LengthM: length, Seeds: *seeds, MinMs: math.Inf(1)}
+			cell := scaleCell{Vehicles: v, DensityKm: d, LengthM: length, Seeds: *seeds, Shards: *shards, MinMs: math.Inf(1)}
 			var pdrSum float64
 			for s := 0; s < *seeds; s++ {
 				opts := relroute.Options{
 					Seed: *seed0 + int64(s), Vehicles: v,
 					HighwayLength: length, Duration: *duration,
-					Flows: 2, FlowPackets: 5,
+					Flows: 2, FlowPackets: 5, Shards: *shards,
 				}
 				t0 := time.Now()
 				sum, err := relroute.Run(*protocol, opts)
@@ -368,7 +376,7 @@ func runScale(args []string) error {
 					opts := relroute.Options{
 						Seed: *seed0 + int64(s), Vehicles: v,
 						HighwayLength: length, Duration: *duration,
-						Flows: 2, FlowPackets: 5,
+						Flows: 2, FlowPackets: 5, Shards: *shards,
 						// replace the population roughly once over the run
 						ArrivalRate:  float64(v) / *duration,
 						MeanLifetime: *duration / 2,
@@ -393,6 +401,7 @@ func runScale(args []string) error {
 				strconv.Itoa(v),
 				fmt.Sprintf("%g", d),
 				fmt.Sprintf("%.0f", length),
+				strconv.Itoa(cell.Shards),
 				fmt.Sprintf("%.1f", cell.MeanMs),
 				fmt.Sprintf("%.1f", cell.MinMs),
 				fmt.Sprintf("%.1f%%", cell.PDR*100),
@@ -441,6 +450,7 @@ func runLinkAcc(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		quick    = fs.Bool("quick", false, "reduced populations and durations")
 		parallel = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 1, "intra-run worker shards per simulation (output is identical for any value)")
 		jsonOut  = fs.String("json", "", "write a machine-readable report to this file")
 	)
 	startProfiles := profileFlags(fs)
@@ -456,7 +466,7 @@ func runLinkAcc(args []string) error {
 			fmt.Fprintln(os.Stderr, "vanetbench:", perr)
 		}
 	}()
-	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel}
+	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards}
 	cells, err := relroute.LinkAccuracy(cfg)
 	if err != nil {
 		return fmt.Errorf("linkacc: %w", err)

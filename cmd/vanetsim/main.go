@@ -52,6 +52,7 @@ func run(args []string) error {
 		tickets   = fs.Int("tickets", 3, "TBP-SS ticket budget")
 		estimator = fs.String("estimator", "", "reliability-plane link estimator (see -list-estimators; empty = composite)")
 		listEst   = fs.Bool("list-estimators", false, "list link estimators and exit")
+		shards    = fs.Int("shards", 1, "intra-run worker shards for the step loop (output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +84,7 @@ func run(args []string) error {
 		TicketBudget: *tickets, Estimator: *estimator,
 		Scenario: *scen, TracePath: *trace,
 		ArrivalRate: *arrival, MeanLifetime: *lifetime,
+		Shards: *shards,
 	}
 	if *city {
 		opts.Kind = relroute.CityKind

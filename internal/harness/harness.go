@@ -26,6 +26,12 @@ type Config struct {
 	// Tables are byte-identical for any worker count: the runner returns
 	// results in submission order and each run is seeded independently.
 	Workers int
+	// Shards is the intra-run parallelism applied to every scenario of
+	// the experiment (scenario.Options.Shards): each simulation's step
+	// loop fans out over this many worker shards. The second determinism
+	// axis next to Workers — tables are byte-identical for any fixed
+	// value of either. Zero or one means sequential worlds.
+	Shards int
 }
 
 func (c Config) seed() int64 {
@@ -38,7 +44,21 @@ func (c Config) seed() int64 {
 // submit executes a campaign on the config's worker pool and unwraps the
 // summaries in submission order.
 func (c Config) submit(camp runner.Campaign) ([]metrics.Summary, error) {
-	return runner.Summaries(runner.Execute(camp, c.Workers))
+	return runner.Summaries(runner.Execute(c.stampShards(camp), c.Workers))
+}
+
+// stampShards propagates the config's intra-run shard count onto every
+// run that does not choose its own — the single choke point through which
+// each experiment's scenarios inherit the Shards axis.
+func (c Config) stampShards(camp runner.Campaign) runner.Campaign {
+	if c.Shards > 1 {
+		for i := range camp.Runs {
+			if camp.Runs[i].Opts.Shards == 0 {
+				camp.Runs[i].Opts.Shards = c.Shards
+			}
+		}
+	}
+	return camp
 }
 
 // Table is the render unit: experiment output as labelled rows.

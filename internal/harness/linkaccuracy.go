@@ -103,7 +103,7 @@ func LinkAccuracyData(cfg Config) ([]LinkAccCell, error) {
 			})
 		}
 	}
-	results := runner.Execute(camp, cfg.Workers)
+	results := runner.Execute(cfg.stampShards(camp), cfg.Workers)
 	for i, res := range results {
 		if res.Err != nil {
 			return nil, fmt.Errorf("link-accuracy %s/%s: %w", cells[i].Estimator, cells[i].Scenario, res.Err)

@@ -1,0 +1,65 @@
+package linkstate
+
+import (
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/geom"
+)
+
+// TestMemoStatsCountHitRate pins the observable side of the once-per-tick
+// epoch contract: with the grid epoch frozen, every kinematic read after
+// the first per (entry, tick) is a memo hit, and an epoch advance turns
+// exactly one read per entry back into a miss.
+func TestMemoStatsCountHitRate(t *testing.T) {
+	m := NewMonitor(2.5, 250, nil)
+	m.Update(1, Vehicle, geom.V(100, 0), geom.V(-1, 0), -60, 0)
+	m.Update(2, Vehicle, geom.V(120, 0), geom.V(-2, 0), -62, 0)
+
+	obs := Observer{Vel: geom.V(2, 0), Now: 1, Epoch: 5}
+	for i := 0; i < 4; i++ {
+		m.State(1, obs)
+		m.State(2, obs)
+	}
+	hits, misses := m.MemoStats()
+	if misses != 2 {
+		t.Fatalf("misses = %d, want 2 (one cold solve per entry)", misses)
+	}
+	if hits != 6 {
+		t.Fatalf("hits = %d, want 6 (three repeat reads per entry)", hits)
+	}
+
+	// one AdvanceEpoch per tick → exactly one extra miss per entry read
+	obs.Epoch = 6
+	m.State(1, obs)
+	m.State(1, obs)
+	hits, misses = m.MemoStats()
+	if misses != 3 || hits != 7 {
+		t.Fatalf("after epoch advance: hits/misses = %d/%d, want 7/3", hits, misses)
+	}
+}
+
+// TestFullSweepsStayZeroWhenQuiet pins the expiry fast path: a monitor
+// whose entries are all fresh — or that has none at all — answers Expire
+// from the oldest-entry lower bound without ever walking the table.
+func TestFullSweepsStayZeroWhenQuiet(t *testing.T) {
+	m := NewMonitor(2.5, 250, nil)
+	for i := 0; i < 100; i++ {
+		m.Expire(float64(i) * 0.1) // empty table: oldest bound short-circuits
+	}
+	if got := m.FullSweeps(); got != 0 {
+		t.Fatalf("empty monitor did %d full sweeps", got)
+	}
+	m.Update(1, Vehicle, geom.V(10, 0), geom.V(5, 0), -60, 10)
+	for i := 0; i < 20; i++ {
+		m.Update(1, Vehicle, geom.V(10, 0), geom.V(5, 0), -60, 10+float64(i)*0.1)
+		m.Expire(10 + float64(i)*0.1)
+	}
+	if got := m.FullSweeps(); got != 0 {
+		t.Fatalf("fresh-entry monitor did %d full sweeps", got)
+	}
+	// let the entry age past the ttl: now a sweep must actually run
+	gone := m.Expire(20)
+	if len(gone) != 1 || m.FullSweeps() != 1 {
+		t.Fatalf("expiry sweep: gone=%v sweeps=%d, want 1/1", gone, m.FullSweeps())
+	}
+}

@@ -28,6 +28,14 @@ const feedbackAlpha = 0.25
 // configured Estimator, with the kinematic Eqn (4) lifetime memoized per
 // (mobility epoch, beacon count) so repeated routing decisions within one
 // epoch cost no recomputation and no allocations.
+//
+// Shard safety: a Monitor is confined to its owning node. The sharded
+// world engine calls Expire and State on different nodes' monitors
+// concurrently, but never the same monitor from two shards; every
+// mutation (including the kinematic memo write-back in derive) stays
+// inside this monitor's own entries, so that confinement is the only
+// requirement. The shared Estimator must be stateless (the registry
+// contract) for the same reason.
 type Monitor struct {
 	entries map[NodeID]*LinkState
 	ttl     float64
@@ -40,6 +48,11 @@ type Monitor struct {
 	// an entry may leave the bound stale-low; that only costs one full
 	// sweep, which recomputes it exactly.
 	oldest float64
+	// instrumentation: kinematic-memo effectiveness and how often the
+	// expiry sweep actually walked the table (tests pin both).
+	memoHits   uint64
+	memoMisses uint64
+	fullSweeps uint64
 }
 
 // NewMonitor returns a monitor whose links expire ttl seconds after the
@@ -201,8 +214,10 @@ func (m *Monitor) derive(e *LinkState, obs Observer) LinkState {
 // only events that can move either endpoint's kinematics.
 func (m *Monitor) kinematic(e *LinkState, obs Observer) float64 {
 	if e.lifeOK && e.lifeEpoch == obs.Epoch && e.lifeBeacons == e.Beacons {
+		m.memoHits++
 		return e.lifeVal
 	}
+	m.memoMisses++
 	v := link.LifetimeVec(e.Pos, e.Vel, obs.Pos, obs.Vel, m.rangeM)
 	e.lifeOK = true
 	e.lifeEpoch = obs.Epoch
@@ -217,6 +232,7 @@ func (m *Monitor) Expire(now float64) []NodeID {
 	if now-m.oldest <= m.ttl {
 		return nil // even the oldest possible entry is still fresh
 	}
+	m.fullSweeps++
 	var gone []NodeID
 	min := math.Inf(1)
 	for id, e := range m.entries {
@@ -231,3 +247,16 @@ func (m *Monitor) Expire(now float64) []NodeID {
 	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
 	return gone
 }
+
+// MemoStats returns how often the kinematic lifetime memo hit and missed.
+// With the grid epoch advancing once per tick, every State read after the
+// first per (entry, tick) should hit — the counter test pins that.
+func (m *Monitor) MemoStats() (hits, misses uint64) {
+	return m.memoHits, m.memoMisses
+}
+
+// FullSweeps returns how many Expire calls actually walked the table
+// (rather than being dismissed by the oldest-entry lower bound). A quiet
+// table — no links, or none old enough to expire — must keep this at
+// zero no matter how many ticks elapse.
+func (m *Monitor) FullSweeps() uint64 { return m.fullSweeps }

@@ -16,6 +16,7 @@ import (
 	"slices"
 
 	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/par"
 	"github.com/vanetlab/relroute/internal/roadnet"
 )
 
@@ -59,6 +60,19 @@ type Model interface {
 	Len() int
 }
 
+// ShardedModel is implemented by models whose per-tick work can fan out
+// over a par.Pool. The contract is strict determinism: for any fixed
+// input state, AdvanceShards and StatesIntoShards must produce results
+// byte-identical to Advance and StatesInto on any pool — the sharded
+// world engine runs the same golden experiments at every shard count.
+type ShardedModel interface {
+	Model
+	// AdvanceShards is Advance with its per-vehicle phases run per shard.
+	AdvanceShards(dt float64, pool *par.Pool)
+	// StatesIntoShards is StatesInto with the snapshot filled per shard.
+	StatesIntoShards(dst []State, pool *par.Pool) []State
+}
+
 // IDMParams are the Intelligent Driver Model parameters.
 type IDMParams struct {
 	DesiredSpeed float64 // v0: free-flow speed, m/s
@@ -99,22 +113,37 @@ func (p IDMParams) accel(v, gap, dv float64) float64 {
 
 // vehicle is the internal mutable vehicle record.
 type vehicle struct {
-	id     VehicleID
-	class  Class
-	params IDMParams
-	seg    roadnet.SegmentID
-	lane   int
-	offset float64
-	speed  float64
-	accel  float64
-	route  []roadnet.SegmentID // pending segments after the current one
-	rng    *rand.Rand
+	id      VehicleID
+	class   Class
+	params  IDMParams
+	seg     roadnet.SegmentID
+	lane    int
+	offset  float64
+	speed   float64
+	accel   float64
+	route   []roadnet.SegmentID // pending segments after the current one
+	rngSeed int64               // drawn at AddVehicle; see random
+	rng     *rand.Rand          // materialized on first draw
 	// lane-change hysteresis: no second change for a short period
 	laneCooldown float64
 	// orderIdx is this vehicle's position in its (segment, lane) ordered
-	// list, refreshed by rebuildOrder; it makes the same-lane leader
-	// lookup O(1).
+	// list, refreshed by advance's sort phases; it makes the same-lane
+	// leader lookup O(1).
 	orderIdx int32
+}
+
+// random returns the vehicle's private RNG stream, materializing it on
+// first use: seeding a math/rand generator costs ~600 mixing steps, and a
+// vehicle only draws when it crosses a junction with an empty route. The
+// seed is drawn eagerly in AddVehicle, so the model's root stream is
+// byte-identical whether or when this one materializes — and since the
+// only draws happen inside the junction phase, materialization lands on
+// whichever shard owns the vehicle instead of on the serial spawn path.
+func (v *vehicle) random() *rand.Rand {
+	if v.rng == nil {
+		v.rng = rand.New(rand.NewSource(v.rngSeed))
+	}
+	return v.rng
 }
 
 // RoadModel moves vehicles over a roadnet.Network with IDM + lane changes.
@@ -132,6 +161,8 @@ type RoadModel struct {
 	// per-vehicle hot path.
 	order    [][]*vehicle
 	maxLanes int
+	// shardStart is StatesIntoShards' reused output-offset scratch.
+	shardStart []int
 }
 
 // ExitPolicy decides what happens when a vehicle reaches the end of its
@@ -182,14 +213,14 @@ func (m *RoadModel) AddVehicle(seg roadnet.SegmentID, lane int, offset float64, 
 		lane = s.Lanes - 1
 	}
 	v := &vehicle{
-		id:     VehicleID(len(m.vs)),
-		class:  class,
-		params: params,
-		seg:    seg,
-		lane:   lane,
-		offset: math.Mod(math.Abs(offset), math.Max(s.Length(), 1)),
-		speed:  math.Min(params.DesiredSpeed, s.SpeedLimit),
-		rng:    rand.New(rand.NewSource(m.rng.Int63())),
+		id:      VehicleID(len(m.vs)),
+		class:   class,
+		params:  params,
+		seg:     seg,
+		lane:    lane,
+		offset:  math.Mod(math.Abs(offset), math.Max(s.Length(), 1)),
+		speed:   math.Min(params.DesiredSpeed, s.SpeedLimit),
+		rngSeed: m.rng.Int63(),
 	}
 	m.vs = append(m.vs, v)
 	return v.id
@@ -233,71 +264,127 @@ func (m *RoadModel) Len() int {
 
 // Advance implements Model: one IDM step for every vehicle, then lane
 // changes, then junction handling.
-func (m *RoadModel) Advance(dt float64) {
+func (m *RoadModel) Advance(dt float64) { m.advance(dt, par.Seq) }
+
+// AdvanceShards implements ShardedModel: the same step with each
+// per-vehicle phase fanned out over the pool. Byte-identical to Advance —
+// both are the same phased implementation, only the pool differs.
+func (m *RoadModel) AdvanceShards(dt float64, pool *par.Pool) { m.advance(dt, pool) }
+
+// advance is one mobility step as a sequence of per-vehicle phases with a
+// full barrier between them. Every phase reads only state frozen at the
+// previous barrier and writes only vehicle-private fields (or, for the
+// sort phases, disjoint lane lists), so the phase bodies may run per
+// shard over disjoint index ranges in any interleaving:
+//
+//   - sort: each (segment, lane) list is sorted independently; membership
+//     was fixed by the serial bucket pass.
+//   - accel: reads leaders' frozen offset/speed, writes only v.accel.
+//   - integrate: reads only v.accel, writes v.speed/v.offset/cooldown.
+//   - resort + lane changes + junctions: lane changes write only v.lane
+//     (list membership is stale until the next rebuild, exactly as in the
+//     sequential formulation), and junction transitions touch only the
+//     vehicle's own record and slot, drawing only its private RNG.
+//
+// Lane changes and junctions stay separate phases: a junction transition
+// rewrites v.offset relative to a new segment, and the sequential
+// formulation let every lane-change decision observe pre-transition
+// offsets.
+func (m *RoadModel) advance(dt float64, pool *par.Pool) {
 	m.now += dt
-	m.rebuildOrder()
+	m.bucketOrder()
+	pool.Run(func(shard int) {
+		lo, hi := pool.Range(len(m.order), shard)
+		for _, list := range m.order[lo:hi] {
+			sortVehicles(list)
+			for i, o := range list {
+				o.orderIdx = int32(i)
+			}
+		}
+	})
 	// 1. accelerations from current leaders
-	for _, v := range m.vs {
-		if v == nil {
-			continue
+	pool.Run(func(shard int) {
+		lo, hi := pool.Range(len(m.vs), shard)
+		for _, v := range m.vs[lo:hi] {
+			if v == nil {
+				continue
+			}
+			gap, leadSpeed := m.gapAhead(v, v.lane)
+			limit := m.net.Segment(v.seg).SpeedLimit
+			a := v.params.accel(v.speed, gap, v.speed-leadSpeed)
+			// respect the speed limit as the v_m clamp
+			if v.speed > limit {
+				a = math.Min(a, -v.params.ComfortDecel)
+			}
+			v.accel = clampF(a, -8, v.params.MaxAccel)
 		}
-		gap, leadSpeed := m.gapAhead(v, v.lane)
-		limit := m.net.Segment(v.seg).SpeedLimit
-		a := v.params.accel(v.speed, gap, v.speed-leadSpeed)
-		// respect the speed limit as the v_m clamp
-		if v.speed > limit {
-			a = math.Min(a, -v.params.ComfortDecel)
-		}
-		v.accel = clampF(a, -8, v.params.MaxAccel)
-	}
+	})
 	// 2. integrate
-	for _, v := range m.vs {
-		if v == nil {
-			continue
+	pool.Run(func(shard int) {
+		lo, hi := pool.Range(len(m.vs), shard)
+		for _, v := range m.vs[lo:hi] {
+			if v == nil {
+				continue
+			}
+			v.speed = clampF(v.speed+v.accel*dt, 0, m.net.Segment(v.seg).SpeedLimit)
+			v.offset += v.speed * dt
+			if v.laneCooldown > 0 {
+				v.laneCooldown -= dt
+			}
 		}
-		v.speed = clampF(v.speed+v.accel*dt, 0, m.net.Segment(v.seg).SpeedLimit)
-		v.offset += v.speed * dt
-		if v.laneCooldown > 0 {
-			v.laneCooldown -= dt
-		}
-	}
+	})
 	// 3. lane changes (after movement so gaps reflect fresh positions).
 	// Integration never moves a vehicle across a (segment, lane) list, so
 	// membership is unchanged since the rebuild above — re-sorting the
 	// nearly-sorted lists in place is enough (and ~linear).
-	m.resortOrder()
-	for _, v := range m.vs {
-		if v == nil {
-			continue
+	pool.Run(func(shard int) {
+		lo, hi := pool.Range(len(m.order), shard)
+		for _, list := range m.order[lo:hi] {
+			insertionSortVehicles(list)
+			for i, o := range list {
+				o.orderIdx = int32(i)
+			}
 		}
-		m.maybeChangeLane(v)
-	}
+	})
+	pool.Run(func(shard int) {
+		lo, hi := pool.Range(len(m.vs), shard)
+		for _, v := range m.vs[lo:hi] {
+			if v == nil {
+				continue
+			}
+			m.maybeChangeLane(v)
+		}
+	})
 	// 4. junction transitions
-	for i, v := range m.vs {
-		if v == nil {
-			continue
-		}
-		seg := m.net.Segment(v.seg)
-		for v.offset >= seg.Length() {
-			over := v.offset - seg.Length()
-			next, ok := m.nextSegment(v)
-			if !ok {
-				if m.exitP == Despawn {
-					m.vs[i] = nil
-				} else {
-					v.offset = seg.Length()
-					v.speed = 0
+	pool.Run(func(shard int) {
+		lo, hi := pool.Range(len(m.vs), shard)
+		for i := lo; i < hi; i++ {
+			v := m.vs[i]
+			if v == nil {
+				continue
+			}
+			seg := m.net.Segment(v.seg)
+			for v.offset >= seg.Length() {
+				over := v.offset - seg.Length()
+				next, ok := m.nextSegment(v)
+				if !ok {
+					if m.exitP == Despawn {
+						m.vs[i] = nil
+					} else {
+						v.offset = seg.Length()
+						v.speed = 0
+					}
+					break
 				}
-				break
+				v.seg = next
+				seg = m.net.Segment(next)
+				if v.lane >= seg.Lanes {
+					v.lane = seg.Lanes - 1
+				}
+				v.offset = over
 			}
-			v.seg = next
-			seg = m.net.Segment(next)
-			if v.lane >= seg.Lanes {
-				v.lane = seg.Lanes - 1
-			}
-			v.offset = over
 		}
-	}
+	})
 }
 
 // nextSegment pops the route or applies the exit policy.
@@ -316,7 +403,7 @@ func (m *RoadModel) nextSegment(v *vehicle) (roadnet.SegmentID, bool) {
 	}
 	// straight bias: prefer the continuation with the closest heading
 	cur := m.net.Segment(v.seg).Dir()
-	if v.rng.Float64() < 0.7 {
+	if v.random().Float64() < 0.7 {
 		best := choices[0]
 		bd := -math.MaxFloat64
 		for _, c := range choices {
@@ -327,15 +414,18 @@ func (m *RoadModel) nextSegment(v *vehicle) (roadnet.SegmentID, bool) {
 		}
 		return best, true
 	}
-	return choices[v.rng.Intn(len(choices))], true
+	return choices[v.random().Intn(len(choices))], true
 }
 
-// rebuildOrder sorts vehicles per (segment, lane) by offset. Lane lists are
-// truncated and refilled in place (instead of reallocated) so their backing
-// arrays are reused tick after tick. Equal-offset vehicles order by ID
-// because vehBefore breaks ties on ID (a total order — the sort need not be
-// stable), the invariant gapAhead's tie-break relies on.
-func (m *RoadModel) rebuildOrder() {
+// bucketOrder refills the per-(segment, lane) lists from the live vehicle
+// set, leaving them unsorted — the sort (plus orderIdx refresh) runs as
+// the first parallel phase of advance, one disjoint list range per shard.
+// Lane lists are truncated and refilled in place (instead of reallocated)
+// so their backing arrays are reused tick after tick. Equal-offset
+// vehicles order by ID because vehBefore breaks ties on ID (a total
+// order — the sort need not be stable), the invariant gapAhead's
+// tie-break relies on.
+func (m *RoadModel) bucketOrder() {
 	for k, list := range m.order {
 		if len(list) > 0 {
 			m.order[k] = list[:0]
@@ -348,31 +438,13 @@ func (m *RoadModel) rebuildOrder() {
 		k := int(v.seg)*m.maxLanes + v.lane
 		m.order[k] = append(m.order[k], v)
 	}
-	for _, list := range m.order {
-		sortVehicles(list)
-		for i, o := range list {
-			o.orderIdx = int32(i)
-		}
-	}
-}
-
-// resortOrder re-sorts the existing lane lists without re-bucketing. Valid
-// only while membership is unchanged since the last rebuildOrder; the
-// lists are then nearly sorted, so the insertion pass is ~linear.
-func (m *RoadModel) resortOrder() {
-	for _, list := range m.order {
-		insertionSortVehicles(list)
-		for i, o := range list {
-			o.orderIdx = int32(i)
-		}
-	}
 }
 
 // vehBefore is the lane-list order: by offset, ties broken by ID. It is a
 // total order (IDs are unique), so every sort below produces the same
-// list regardless of input permutation — which is what lets rebuildOrder
-// (ID-ordered input) and resortOrder (previous-tick order) coexist
-// deterministically.
+// list regardless of input permutation — which is what lets the full sort
+// (ID-ordered input from bucketOrder) and the insertion resort
+// (previous-tick order) coexist deterministically.
 func vehBefore(a, b *vehicle) bool {
 	if a.offset != b.offset {
 		return a.offset < b.offset
@@ -525,21 +597,72 @@ func (m *RoadModel) StatesInto(dst []State) []State {
 		if v == nil {
 			continue
 		}
-		seg := m.net.Segment(v.seg)
-		pos := seg.PosAt(v.lane, v.offset)
-		dst = append(dst, State{
-			ID:      v.id,
-			Pos:     pos,
-			Vel:     seg.Heading(v.speed),
-			Speed:   v.speed,
-			Accel:   v.accel,
-			Segment: v.seg,
-			Lane:    v.lane,
-			Offset:  v.offset,
-			Class:   v.class,
-		})
+		dst = append(dst, m.stateOf(v))
 	}
 	return dst
+}
+
+// StatesIntoShards implements ShardedModel: the same snapshot, filled per
+// shard. A serial counting pass assigns each shard's output window (the
+// snapshot keeps vehicle-index order, so the result is byte-identical to
+// StatesInto), then every shard projects its own vehicles — the per-
+// vehicle geometry (PosAt, Heading) is the actual cost, and it is pure.
+func (m *RoadModel) StatesIntoShards(dst []State, pool *par.Pool) []State {
+	if pool.Shards() == 1 {
+		return m.StatesInto(dst)
+	}
+	n := pool.Shards()
+	if cap(m.shardStart) < n+1 {
+		m.shardStart = make([]int, n+1)
+	}
+	starts := m.shardStart[:n+1]
+	base := len(dst)
+	total := base
+	for s := 0; s < n; s++ {
+		starts[s] = total
+		lo, hi := pool.Range(len(m.vs), s)
+		for _, v := range m.vs[lo:hi] {
+			if v != nil {
+				total++
+			}
+		}
+	}
+	starts[n] = total
+	if cap(dst) < total {
+		grown := make([]State, total)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:total]
+	}
+	pool.Run(func(shard int) {
+		out := starts[shard]
+		lo, hi := pool.Range(len(m.vs), shard)
+		for _, v := range m.vs[lo:hi] {
+			if v == nil {
+				continue
+			}
+			dst[out] = m.stateOf(v)
+			out++
+		}
+	})
+	return dst
+}
+
+// stateOf projects one vehicle's externally visible state.
+func (m *RoadModel) stateOf(v *vehicle) State {
+	seg := m.net.Segment(v.seg)
+	return State{
+		ID:      v.id,
+		Pos:     seg.PosAt(v.lane, v.offset),
+		Vel:     seg.Heading(v.speed),
+		Speed:   v.speed,
+		Accel:   v.accel,
+		Segment: v.seg,
+		Lane:    v.lane,
+		Offset:  v.offset,
+		Class:   v.class,
+	}
 }
 
 func clampF(v, lo, hi float64) float64 {

@@ -1,10 +1,6 @@
 package netstack
 
-import (
-	"sort"
-
-	"github.com/vanetlab/relroute/internal/linkstate"
-)
+import "sort"
 
 // Ground-truth link auditing: the world watches true geometry to measure
 // how good the reliability plane's lifetime predictions are. When a node
@@ -31,15 +27,14 @@ type linkSample struct {
 
 // linkAudit tracks open samples. The slice preserves deterministic
 // open/close ordering (map iteration never decides anything observable);
-// idx provides O(1) membership. ids and cand are reused scratch buffers
-// for the per-step open scan, so a step that forms no new links costs no
-// allocations, sorting, or estimator work.
+// idx provides O(1) membership. The per-step open scan's scratch buffers
+// live in the world's per-shard stepShard records, so a step that forms
+// no new links costs no allocations, sorting, or estimator work — on any
+// shard count.
 type linkAudit struct {
 	horizon float64
 	open    []linkSample
 	idx     map[uint64]bool
-	ids     []linkstate.NodeID
-	cand    []linkstate.NodeID
 }
 
 func pairKey(a, b NodeID) uint64 {
@@ -58,8 +53,13 @@ func (w *World) EnableLinkAudit(horizon float64) {
 
 // auditStep advances the audit at the end of one mobility step: close
 // samples whose link broke in truth (or aged past the horizon), then open
-// samples for table entries without one. Iteration is node-ID ordered so
-// float accumulation in the collector is deterministic across runs.
+// samples for table entries without one. The close pass stays serial (it
+// feeds float accumulation in the collector, which must stay node-ID
+// ordered); the open scan — membership filter, candidate sort, estimator
+// reads — shards per node, since it only reads frozen kinematics, the
+// idx map (written solely at the merge), and each node's own monitor.
+// Per-shard sample lists concatenate in shard order, which is node-ID
+// order, so a.open grows in exactly the sequential sequence.
 func (w *World) auditStep(now float64) {
 	a := w.audit
 	r := w.ch.MeanRange()
@@ -80,42 +80,54 @@ func (w *World) auditStep(now float64) {
 		delete(a.idx, pairKey(s.a, s.b))
 	}
 	a.open = keep
-	for _, n := range w.nodes {
-		if !n.active {
-			continue
-		}
-		// Filter first in map order (the filter is pure, so the order is
-		// unobservable), then sort only the usually-empty candidate set
-		// and run the estimator just for those — most steps form no new
-		// links, and the fast path touches no allocation or sort.
-		a.cand = a.cand[:0]
-		a.ids = n.mon.AppendIDs(a.ids[:0])
-		for _, id := range a.ids {
-			if a.idx[pairKey(n.id, id)] {
+	pool := w.pool
+	actives := w.actives
+	pool.Run(func(shard int) {
+		sh := &w.shards[shard]
+		sh.samples = sh.samples[:0]
+		lo, hi := pool.Range(len(actives), shard)
+		for _, n := range actives[lo:hi] {
+			// Filter first in map order (the filter is pure, so the order
+			// is unobservable), then sort only the usually-empty candidate
+			// set and run the estimator just for those — most steps form
+			// no new links, and the fast path touches no allocation or
+			// sort. Two observers never share a pairKey (the key leads
+			// with n.id), so deferring idx writes to the merge cannot
+			// change any node's filter result within the step.
+			sh.cand = sh.cand[:0]
+			sh.ids = n.mon.AppendIDs(sh.ids[:0])
+			for _, id := range sh.ids {
+				if a.idx[pairKey(n.id, id)] {
+					continue
+				}
+				peer := w.nodeByID(id)
+				if peer == nil || !peer.active || n.pos.Dist(peer.pos) > r {
+					continue // never open a sample on a link that is already down
+				}
+				sh.cand = append(sh.cand, id)
+			}
+			if len(sh.cand) == 0 {
 				continue
 			}
-			peer := w.nodeByID(id)
-			if peer == nil || !peer.active || n.pos.Dist(peer.pos) > r {
-				continue // never open a sample on a link that is already down
+			sort.Slice(sh.cand, func(i, j int) bool { return sh.cand[i] < sh.cand[j] })
+			obs := w.observer(n)
+			for _, id := range sh.cand {
+				st, ok := n.mon.State(id, obs)
+				if !ok {
+					continue
+				}
+				pred := st.Lifetime
+				if pred > a.horizon {
+					pred = a.horizon
+				}
+				sh.samples = append(sh.samples, linkSample{a: n.id, b: id, t0: now, pred: pred})
 			}
-			a.cand = append(a.cand, id)
 		}
-		if len(a.cand) == 0 {
-			continue
-		}
-		sort.Slice(a.cand, func(i, j int) bool { return a.cand[i] < a.cand[j] })
-		obs := w.observer(n)
-		for _, id := range a.cand {
-			st, ok := n.mon.State(id, obs)
-			if !ok {
-				continue
-			}
-			pred := st.Lifetime
-			if pred > a.horizon {
-				pred = a.horizon
-			}
-			a.idx[pairKey(n.id, id)] = true
-			a.open = append(a.open, linkSample{a: n.id, b: id, t0: now, pred: pred})
+	})
+	for si := range w.shards {
+		for _, s := range w.shards[si].samples {
+			a.idx[pairKey(s.a, s.b)] = true
+			a.open = append(a.open, s)
 		}
 	}
 }

@@ -1,0 +1,122 @@
+package netstack
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/mobility"
+)
+
+// quietRouter is a router with no beacon substrate: worlds running it do
+// nothing per tick beyond kinematics, which is what makes the "a quiet
+// world sweeps nothing" regression observable.
+type quietRouter struct{ Base }
+
+func newQuietRouter() Router                  { return &quietRouter{} }
+func (r *quietRouter) Name() string           { return "quiet-test" }
+func (r *quietRouter) NeedsBeacons() bool     { return false }
+func (r *quietRouter) HandlePacket(p *Packet) { r.API.Release(p) }
+func (r *quietRouter) Originate(NodeID, int)  {}
+
+// longTracks builds n parallel tracks alive for the whole run.
+func longTracks(n int, until float64) []mobility.Track {
+	tracks := make([]mobility.Track, n)
+	for i := range tracks {
+		y := float64(i) * 40
+		tracks[i] = mobility.Track{
+			ID: mobility.VehicleID(i),
+			Waypoints: []mobility.Waypoint{
+				{T: 0, Pos: geom.V(0, y), Speed: 10},
+				{T: until, Pos: geom.V(10*until, y), Speed: 10},
+			},
+		}
+	}
+	return tracks
+}
+
+// TestQuietWorldSweepsNothing is the active-slice regression: a 1,000-node
+// world with no traffic and no beacons must spend its ticks on kinematics
+// only — every monitor's expiry stays on the oldest-bound fast path
+// (FullSweeps == 0) and the kinematic memo is never even consulted. This
+// held before the sweeps iterated the active slice and must keep holding.
+func TestQuietWorldSweepsNothing(t *testing.T) {
+	const n = 1000
+	w := NewWorld(Config{Seed: 13}, mobility.NewPlayback(longTracks(n, 30)))
+	w.AddVehicleNodes(newQuietRouter)
+	if err := w.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if w.ActiveNodes() != n {
+		t.Fatalf("active = %d, want %d", w.ActiveNodes(), n)
+	}
+	for _, node := range w.nodes {
+		if got := node.mon.FullSweeps(); got != 0 {
+			t.Fatalf("node %d ran %d full expiry sweeps in a quiet world", node.id, got)
+		}
+		if hits, misses := node.mon.MemoStats(); hits+misses != 0 {
+			t.Fatalf("node %d did %d/%d memoized lifetime solves in a quiet world", node.id, hits, misses)
+		}
+	}
+}
+
+// TestActiveSliceBookkeeping pins the membership index the sweeps iterate:
+// it mirrors failure injection and recovery exactly and stays sorted by
+// node ID (the merge order of every sharded sweep).
+func TestActiveSliceBookkeeping(t *testing.T) {
+	w := NewWorld(Config{Seed: 17}, mobility.NewPlayback(longTracks(10, 30)))
+	ids := w.AddVehicleNodes(newQuietRouter)
+	checkSorted := func() {
+		t.Helper()
+		for i := 1; i < len(w.actives); i++ {
+			if w.actives[i-1].id >= w.actives[i].id {
+				t.Fatalf("actives out of order at %d: %d >= %d", i, w.actives[i-1].id, w.actives[i].id)
+			}
+		}
+	}
+	checkSorted()
+	// fail a scattered subset, including both ends
+	for _, i := range []int{0, 3, 4, 9} {
+		w.SetNodeActive(ids[i], false)
+	}
+	if w.ActiveNodes() != 6 {
+		t.Fatalf("active after failures = %d, want 6", w.ActiveNodes())
+	}
+	checkSorted()
+	// double-fail and double-recover must be idempotent
+	w.SetNodeActive(ids[3], false)
+	w.SetNodeActive(ids[3], true)
+	w.SetNodeActive(ids[3], true)
+	if w.ActiveNodes() != 7 {
+		t.Fatalf("active after recovery = %d, want 7", w.ActiveNodes())
+	}
+	checkSorted()
+}
+
+// TestShardedChurnMatchesSequential runs the staggered open-world churn
+// scenario — joins, leaves, beacons, flows — at several shard counts and
+// requires the entire metrics summary to match the sequential run: the
+// membership machinery, expiry sweeps, and departure detection must be
+// shard-count-invariant down to every counter.
+func TestShardedChurnMatchesSequential(t *testing.T) {
+	run := func(shards int) metrics.Summary {
+		t.Helper()
+		const n = 10
+		w := NewWorld(Config{Seed: 7, Shards: shards}, mobility.NewPlayback(staggeredTracks(n)))
+		w.SetJoinFactory(newChurnRouter)
+		initial := w.AddVehicleNodes(newChurnRouter)
+		w.AddFlow(initial[0], initial[0]+1, 5, 2.0, 12, 256)
+		w.AddVehicleFlow(3, 6, 1, 1.0, 30, 128)
+		if err := w.Run(40.5); err != nil {
+			t.Fatal(err)
+		}
+		return w.Collector().Summarize("churn-test", "staggered")
+	}
+	want := run(1)
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d summary diverged from sequential:\ngot  %+v\nwant %+v", shards, got, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package netstack
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/vanetlab/relroute/internal/channel"
 	"github.com/vanetlab/relroute/internal/geom"
@@ -10,6 +11,7 @@ import (
 	"github.com/vanetlab/relroute/internal/mac"
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/mobility"
+	"github.com/vanetlab/relroute/internal/par"
 	"github.com/vanetlab/relroute/internal/radio"
 	"github.com/vanetlab/relroute/internal/sim"
 	"github.com/vanetlab/relroute/internal/spatial"
@@ -41,6 +43,15 @@ type Config struct {
 	// kinematic Eqn (4) lifetime plus the RSSI receipt model — exactly the
 	// predictions the protocols computed before the plane existed.
 	Estimator string
+	// Shards is the intra-run parallelism: the per-tick phases of the
+	// step loop (mobility kinematics, the spatial refresh, the radio
+	// prefetch, and the per-node sweeps) fan out over this many worker
+	// shards. Zero or one means today's fully sequential engine. Output
+	// is byte-identical at every fixed shard count: RNG draws stay on the
+	// single-threaded event path, parallel phases compute pure functions
+	// of positions, and merges replay in node/vehicle order — see the
+	// README's "Parallel engine" section.
+	Shards int
 }
 
 func (c Config) tick() float64 {
@@ -71,6 +82,13 @@ func (c Config) beaconSize() int {
 	return c.BeaconSize
 }
 
+func (c Config) shards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
 // node is the internal per-node record.
 type node struct {
 	id      NodeID
@@ -89,6 +107,43 @@ type node struct {
 	// which clears active but not left).
 	seenStep uint64
 	left     bool
+}
+
+// stepShard is one shard's private buffers for the parallel phases of
+// World.step. Parallel phases only append to their own shard's buffers;
+// the serial sections between barriers drain them in shard order, which —
+// because shards own contiguous index ranges — replays every observable
+// mutation in exactly the order the sequential engine performs it.
+type stepShard struct {
+	ops      []stepOp       // kinematics phase: staged grid/membership work
+	changed  bool           // kinematics phase: any position changed
+	departed []*node        // departure phase: active vehicles gone from the snapshot
+	expired  []expiredLinks // expiry phase: per-node expired neighbor sets
+	samples  []linkSample   // audit phase: new ground-truth samples
+	ids      []linkstate.NodeID
+	cand     []linkstate.NodeID
+}
+
+// stepOp is one staged observable mutation from the kinematics phase,
+// replayed serially in stateBuf order.
+type stepOp struct {
+	kind uint8 // opMove, opJoin, opRejoin, opInsert
+	idx  int32 // index into stateBuf (opJoin/opRejoin/opInsert)
+	mv   spatial.Move
+}
+
+const (
+	opMove uint8 = iota + 1
+	opJoin
+	opRejoin
+	opInsert
+)
+
+// expiredLinks records one node's expired neighbors; router callbacks run
+// at the serial merge.
+type expiredLinks struct {
+	n    *node
+	gone []linkstate.NodeID
 }
 
 // random returns the node's private RNG stream, materializing it on first
@@ -125,6 +180,17 @@ type World struct {
 	nodes []*node
 	byVeh []*node // vehicle ID → node; vehicle IDs are dense from 0
 	uid   uint64
+
+	// intra-run parallelism: pool fans the step loop's per-tick phases
+	// out over Config.Shards shards (par.Seq — inline, no goroutines —
+	// until Run upgrades it); actives is the sorted-by-ID slice of nodes
+	// with active == true, so sweeps iterate members instead of scanning
+	// every node ever created; shards holds each shard's merge buffers;
+	// activeIDs is the reused id list handed to the radio prefetch.
+	pool      *par.Pool
+	actives   []*node
+	shards    []stepShard
+	activeIDs []int32
 
 	// est is the shared link-quality estimator every node's Monitor
 	// predicts with (Config.Estimator); audit is the optional ground-truth
@@ -175,12 +241,14 @@ func NewWorld(cfg Config, model mobility.Model) *World {
 		cell = 250
 	}
 	w := &World{
-		cfg:   cfg,
-		eng:   eng,
-		model: model,
-		grid:  spatial.NewGrid(cell),
-		ch:    ch,
-		col:   col,
+		cfg:    cfg,
+		eng:    eng,
+		model:  model,
+		grid:   spatial.NewGrid(cell),
+		ch:     ch,
+		col:    col,
+		pool:   par.Seq,
+		shards: make([]stepShard, 1),
 	}
 	// The reliability plane's estimator is shared by every node's Monitor.
 	// Unknown names are a programmer error (scenario.Build validates user
@@ -324,6 +392,7 @@ func (w *World) addNode(kind NodeKind, pos, vel geom.Vec2, r Router, vehID mobil
 		active:  true,
 	}
 	w.nodes = append(w.nodes, n)
+	w.markActive(n)
 	if vehID >= 0 {
 		for int(vehID) >= len(w.byVeh) {
 			w.byVeh = append(w.byVeh, nil)
@@ -333,6 +402,27 @@ func (w *World) addNode(kind NodeKind, pos, vel geom.Vec2, r Router, vehID mobil
 	w.grid.Update(int32(id), pos)
 	r.Attach(&API{world: w, node: n})
 	return id
+}
+
+// markActive inserts n into the sorted active slice (no-op if present).
+// New nodes always carry the highest ID, so the common case appends.
+func (w *World) markActive(n *node) {
+	i := sort.Search(len(w.actives), func(i int) bool { return w.actives[i].id >= n.id })
+	if i < len(w.actives) && w.actives[i] == n {
+		return
+	}
+	w.actives = append(w.actives, nil)
+	copy(w.actives[i+1:], w.actives[i:])
+	w.actives[i] = n
+}
+
+// markInactive removes n from the sorted active slice (no-op if absent).
+func (w *World) markInactive(n *node) {
+	i := sort.Search(len(w.actives), func(i int) bool { return w.actives[i].id >= n.id })
+	if i >= len(w.actives) || w.actives[i] != n {
+		return
+	}
+	w.actives = append(w.actives[:i], w.actives[i+1:]...)
 }
 
 // SetJoinFactory switches the world to open-world membership: vehicles
@@ -354,15 +444,7 @@ func (w *World) Leaves() int { return w.leaves }
 
 // ActiveNodes returns the number of currently active nodes (joined, not
 // departed, not failure-injected).
-func (w *World) ActiveNodes() int {
-	n := 0
-	for _, nd := range w.nodes {
-		if nd.active {
-			n++
-		}
-	}
-	return n
-}
+func (w *World) ActiveNodes() int { return len(w.actives) }
 
 // SetNodeActive enables or disables a node (failure injection). Disabled
 // nodes neither transmit nor receive and vanish from the spatial index.
@@ -373,8 +455,10 @@ func (w *World) SetNodeActive(id NodeID, active bool) {
 	}
 	n.active = active
 	if active {
+		w.markActive(n)
 		w.grid.Update(int32(id), n.pos)
 	} else {
+		w.markInactive(n)
 		w.grid.Remove(int32(id))
 	}
 }
@@ -445,6 +529,28 @@ func (w *World) Run(duration float64) error {
 		// after t=0); probe a throwaway router so joiners still get beacons
 		needBeacons = w.joinFactory().NeedsBeacons()
 	}
+	// intra-run worker pool: created here (not NewWorld) so worlds that
+	// are built but never run own no goroutines, and torn down when the
+	// run ends. The workers block between phases — no spinning — so
+	// Shards > core count degrades to sequential speed, not livelock.
+	if s := w.cfg.shards(); s > 1 {
+		w.pool = par.New(s)
+		defer func() { w.pool.Close(); w.pool = par.Seq }()
+		w.shards = make([]stepShard, s)
+		if needBeacons {
+			// prewarm the per-node RNG streams across the shards: seeds
+			// were drawn eagerly at addNode, so materializing generators
+			// early is unobservable — it only moves the ~600 mixing steps
+			// per node off the serial beacon-arming loop below.
+			pool := w.pool
+			pool.Run(func(shard int) {
+				lo, hi := pool.Range(len(w.nodes), shard)
+				for _, n := range w.nodes[lo:hi] {
+					n.random()
+				}
+			})
+		}
+	}
 	// mobility + housekeeping tick
 	tick := w.cfg.tick()
 	w.eng.Ticker(0, tick, 0, nil, func() { w.step(tick) })
@@ -480,58 +586,161 @@ func (w *World) Run(duration float64) error {
 // path, so the bookkeeping is two integer stamps per vehicle per tick.
 func (w *World) step(dt float64) {
 	w.stepSeq++
-	w.stateBuf = w.model.StatesInto(w.stateBuf[:0])
-	for i := range w.stateBuf {
-		s := &w.stateBuf[i]
-		var n *node
-		if int(s.ID) < len(w.byVeh) {
-			n = w.byVeh[s.ID]
-		}
-		if n == nil {
-			if w.joinFactory != nil {
-				w.joinVehicle(s)
+	pool := w.pool
+	sharded, isSharded := w.model.(mobility.ShardedModel)
+	if isSharded {
+		w.stateBuf = sharded.StatesIntoShards(w.stateBuf[:0], pool)
+	} else {
+		w.stateBuf = w.model.StatesInto(w.stateBuf[:0])
+	}
+	// Kinematics phase, per shard over disjoint stateBuf ranges: write
+	// each node's pos/vel and stage its grid move (a write to the node's
+	// private slot in the dense position array). Everything whose order
+	// is observable — cell-list surgery, joins, re-entries — is recorded
+	// in the shard's op list and replayed serially below in stateBuf
+	// order, exactly the mutation sequence of the sequential engine.
+	pool.Run(func(shard int) {
+		sh := &w.shards[shard]
+		sh.ops = sh.ops[:0]
+		sh.changed = false
+		lo, hi := pool.Range(len(w.stateBuf), shard)
+		for i := lo; i < hi; i++ {
+			s := &w.stateBuf[i]
+			var n *node
+			if int(s.ID) < len(w.byVeh) {
+				n = w.byVeh[s.ID]
 			}
-			continue
+			if n == nil {
+				if w.joinFactory != nil {
+					sh.ops = append(sh.ops, stepOp{kind: opJoin, idx: int32(i)})
+				}
+				continue
+			}
+			n.seenStep = w.stepSeq
+			if n.left {
+				// the vehicle re-entered the world (e.g. a gap in its
+				// trace); membership changes are serial-merge work
+				sh.ops = append(sh.ops, stepOp{kind: opRejoin, idx: int32(i)})
+				continue
+			}
+			n.pos = s.Pos
+			n.vel = s.Vel
+			if !n.active {
+				continue
+			}
+			changed, mv, cross, ok := w.grid.Stage(int32(n.id), n.pos)
+			if !ok {
+				sh.ops = append(sh.ops, stepOp{kind: opInsert, idx: int32(i)})
+				continue
+			}
+			sh.changed = sh.changed || changed
+			if cross {
+				sh.ops = append(sh.ops, stepOp{kind: opMove, mv: mv})
+			}
 		}
-		n.seenStep = w.stepSeq
-		if n.left {
-			// the vehicle re-entered the world (e.g. a gap in its trace)
-			n.left = false
-			n.active = true
-			w.joins++
-			w.col.NodeJoins++
-		}
-		n.pos = s.Pos
-		n.vel = s.Vel
-		if n.active {
-			w.grid.Update(int32(n.id), n.pos)
+	})
+	// Serial merge in shard (= stateBuf) order, then one epoch advance
+	// for the whole tick's staged movement — the radio cache and the
+	// kinematic memo see a single geometry change per tick instead of
+	// one per moved vehicle. Joins and removals below still bump the
+	// epoch themselves (they change membership, not just positions).
+	changed := false
+	for si := range w.shards {
+		sh := &w.shards[si]
+		changed = changed || sh.changed
+		for _, op := range sh.ops {
+			switch op.kind {
+			case opMove:
+				w.grid.Commit(op.mv)
+			case opJoin:
+				w.joinVehicle(&w.stateBuf[op.idx])
+			case opRejoin:
+				s := &w.stateBuf[op.idx]
+				n := w.byVeh[s.ID]
+				n.left = false
+				n.active = true
+				w.markActive(n)
+				w.joins++
+				w.col.NodeJoins++
+				n.pos = s.Pos
+				n.vel = s.Vel
+				w.grid.Update(int32(n.id), n.pos)
+			case opInsert:
+				n := w.byVeh[w.stateBuf[op.idx].ID]
+				w.grid.Update(int32(n.id), n.pos)
+			}
 		}
 	}
-	w.model.Advance(dt)
+	if changed {
+		w.grid.AdvanceEpoch()
+	}
+	if isSharded {
+		sharded.AdvanceShards(dt, pool)
+	} else {
+		w.model.Advance(dt)
+	}
 	// departure sweep — only in open worlds (SetJoinFactory): an active
 	// vehicle node absent from this step's snapshot left the mobility
 	// model (trace window closed, lifetime expired, drove off the map).
 	// Worlds that never opted into open membership keep the legacy
-	// fixed-population behaviour and report zero joins/leaves.
+	// fixed-population behaviour and report zero joins/leaves. Detection
+	// (a flag comparison per active node) shards; leaveNode runs at the
+	// merge, in node-ID order.
 	if w.joinFactory != nil {
-		for _, n := range w.nodes {
-			if n.vehID >= 0 && n.active && n.seenStep != w.stepSeq {
+		actives := w.actives
+		pool.Run(func(shard int) {
+			sh := &w.shards[shard]
+			sh.departed = sh.departed[:0]
+			lo, hi := pool.Range(len(actives), shard)
+			for _, n := range actives[lo:hi] {
+				if n.vehID >= 0 && n.seenStep != w.stepSeq {
+					sh.departed = append(sh.departed, n)
+				}
+			}
+		})
+		for si := range w.shards {
+			for _, n := range w.shards[si].departed {
 				w.leaveNode(n)
 			}
 		}
 	}
-	// neighbor expiry sweep
+	// Neighbor expiry sweep over the active slice: Expire mutates only
+	// its own node's monitor and draws nothing, so it shards per node;
+	// the router callbacks — which may transmit, enqueueing onto the
+	// serial MAC path — replay at the merge in node-ID order.
 	now := w.eng.Now()
-	for _, n := range w.nodes {
-		if !n.active {
-			continue
+	actives := w.actives
+	pool.Run(func(shard int) {
+		sh := &w.shards[shard]
+		sh.expired = sh.expired[:0]
+		lo, hi := pool.Range(len(actives), shard)
+		for _, n := range actives[lo:hi] {
+			if gone := n.mon.Expire(now); len(gone) > 0 {
+				sh.expired = append(sh.expired, expiredLinks{n: n, gone: gone})
+			}
 		}
-		for _, gone := range n.mon.Expire(now) {
-			n.router.OnNeighborExpired(gone)
+	})
+	for si := range w.shards {
+		for _, ex := range w.shards[si].expired {
+			for _, gone := range ex.gone {
+				ex.n.router.OnNeighborExpired(gone)
+			}
 		}
 	}
 	if w.audit != nil {
 		w.auditStep(now)
+	}
+	// Radio prefetch: when enough of the population transmitted during
+	// the previous epoch that the lazy per-transmitter rebuilds would
+	// dominate the serial event path anyway, build every active node's
+	// neighborhood here, across the shards, while the geometry is final
+	// for the tick. Pure prefetch — identical lists, identical outputs.
+	if s := pool.Shards(); s > 1 && len(w.actives) > 0 && w.links.PrevEpochUse()*s >= len(w.actives) {
+		w.activeIDs = w.activeIDs[:0]
+		for _, n := range w.actives {
+			w.activeIDs = append(w.activeIDs, int32(n.id))
+		}
+		w.links.RebuildAll(pool, w.activeIDs)
 	}
 }
 
@@ -568,6 +777,7 @@ func (w *World) joinVehicle(s *mobility.State) {
 func (w *World) leaveNode(n *node) {
 	n.left = true
 	n.active = false
+	w.markInactive(n)
 	w.grid.Remove(int32(n.id))
 	w.leaves++
 	w.col.NodeLeaves++

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangeCoversAllItems(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		p := New(shards)
+		p.Close()
+		for _, n := range []int{0, 1, 3, 7, 100, 101} {
+			next := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := p.Range(n, s)
+				if lo != next {
+					t.Fatalf("shards=%d n=%d shard=%d: lo=%d, want %d", shards, n, s, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("shards=%d n=%d shard=%d: hi=%d < lo=%d", shards, n, s, hi, lo)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("shards=%d n=%d: ranges cover %d items", shards, n, next)
+			}
+		}
+	}
+}
+
+func TestRunVisitsEveryShardOnce(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		p := New(shards)
+		counts := make([]atomic.Int64, shards)
+		for round := 0; round < 3; round++ {
+			p.Run(func(s int) { counts[s].Add(1) })
+		}
+		for s := range counts {
+			if got := counts[s].Load(); got != 3 {
+				t.Fatalf("shards=%d: shard %d ran %d times, want 3", shards, s, got)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunIsABarrier(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var done atomic.Int64
+	for round := 0; round < 10; round++ {
+		p.Run(func(s int) { done.Add(1) })
+		if got := done.Load(); got != int64(4*(round+1)) {
+			t.Fatalf("round %d: %d shard executions observed after Run returned, want %d", round, got, 4*(round+1))
+		}
+	}
+}
+
+func TestWorkerPanicReachesCaller(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+		// the pool must still be usable after a recovered panic
+		var n atomic.Int64
+		p.Run(func(s int) { n.Add(1) })
+		if n.Load() != 4 {
+			t.Fatalf("pool broken after panic: %d shards ran", n.Load())
+		}
+	}()
+	p.Run(func(s int) {
+		if s == 2 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSeqRunsInline(t *testing.T) {
+	if Seq.Shards() != 1 {
+		t.Fatalf("Seq.Shards() = %d, want 1", Seq.Shards())
+	}
+	ran := false
+	Seq.Run(func(s int) {
+		if s != 0 {
+			t.Fatalf("shard = %d, want 0", s)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("Seq.Run did not execute the function")
+	}
+	Seq.Close() // no-op; Seq stays usable by design
+	Seq.Run(func(s int) {})
+}

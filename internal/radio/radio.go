@@ -31,6 +31,7 @@ import (
 	"math/rand"
 
 	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/par"
 	"github.com/vanetlab/relroute/internal/spatial"
 )
 
@@ -52,13 +53,29 @@ type Cache struct {
 	hoods   []hood              // dense, keyed by node ID
 	scratch []int32             // reused Within result buffer
 	builds  uint64              // rebuild counter (instrumentation/tests)
+
+	// usage accounting for the sharded eager-rebuild heuristic: how many
+	// distinct transmitters requested their neighborhood during the
+	// current and the previous grid epoch. Requests ride the serial
+	// transmit path, so the counts are deterministic.
+	reqEpoch uint64
+	reqCount int
+	prevReq  int
+
+	// per-shard arenas for RebuildAll: each shard gets its own Within
+	// scratch buffer and build counter so the fan-out shares nothing but
+	// the (read-only) grid and the disjoint hood slots it owns.
+	shardScratch [][]int32
+	shardBuilds  []uint64
 }
 
 // hood is one node's cached neighborhood. epoch 0 means never built
-// (grid epochs are 1-based).
+// (grid epochs are 1-based); req is the last epoch the node requested it
+// (usage accounting, distinct from having it built eagerly).
 type hood struct {
 	links []Link
 	epoch uint64
+	req   uint64
 }
 
 // NewCache returns a cache over the given index and propagation model.
@@ -84,24 +101,34 @@ func (c *Cache) Links(id int32) []Link {
 		c.hoods = append(c.hoods, hood{})
 	}
 	h := &c.hoods[id]
-	if e := c.grid.Epoch(); h.epoch != e {
-		c.rebuild(id, h)
+	e := c.grid.Epoch()
+	if h.req != e {
+		if e != c.reqEpoch {
+			c.prevReq, c.reqCount, c.reqEpoch = c.reqCount, 0, e
+		}
+		h.req = e
+		c.reqCount++
+	}
+	if h.epoch != e {
+		c.builds++
+		c.rebuildInto(id, h, &c.scratch)
 		h.epoch = e
 	}
 	return h.links
 }
 
-// rebuild recomputes one node's neighborhood from the grid, reusing the
-// backing arrays so steady-state rebuilds do not allocate.
-func (c *Cache) rebuild(id int32, h *hood) {
-	c.builds++
+// rebuildInto recomputes one node's neighborhood from the grid into the
+// given Within scratch buffer, reusing the backing arrays so steady-state
+// rebuilds do not allocate. It only reads the grid and writes h and
+// scratch, which is what lets RebuildAll run it per shard.
+func (c *Cache) rebuildInto(id int32, h *hood, scratch *[]int32) {
 	h.links = h.links[:0]
 	pos, ok := c.grid.Position(id)
 	if !ok {
 		return
 	}
-	c.scratch = c.grid.Within(pos, c.model.MaxRange(), c.scratch[:0])
-	for _, rx := range c.scratch {
+	*scratch = c.grid.Within(pos, c.model.MaxRange(), (*scratch)[:0])
+	for _, rx := range *scratch {
 		if rx == id {
 			continue
 		}
@@ -117,6 +144,56 @@ func (c *Cache) rebuild(id int32, h *hood) {
 			lk.Loss = c.pre.PathLoss(d)
 		}
 		h.links = append(h.links, lk)
+	}
+}
+
+// PrevEpochUse returns how many distinct transmitters requested their
+// neighborhood during the previous grid epoch — the demand signal the
+// world's eager-rebuild heuristic weighs against the cost of prefetching
+// every active node's neighborhood.
+func (c *Cache) PrevEpochUse() int { return c.prevReq }
+
+// RebuildAll eagerly rebuilds the neighborhoods of the given ids for the
+// current epoch, fanning the per-transmitter work out over the pool into
+// per-shard scratch arenas. It is a pure prefetch: each neighborhood is
+// the exact list the lazy path would build on first use (rebuildInto is a
+// pure function of the grid), so transmissions — and with them every
+// golden output — are unaffected; only the wall-clock place the rebuild
+// cost is paid moves, from the serial transmit path onto the shards. IDs
+// already fresh for the epoch are skipped; duplicate ids must not be
+// passed (two shards would race on one hood).
+func (c *Cache) RebuildAll(pool *par.Pool, ids []int32) {
+	n := pool.Shards()
+	var maxID int32 = -1
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for int(maxID) >= len(c.hoods) {
+		c.hoods = append(c.hoods, hood{})
+	}
+	for len(c.shardScratch) < n {
+		c.shardScratch = append(c.shardScratch, nil)
+		c.shardBuilds = append(c.shardBuilds, 0)
+	}
+	e := c.grid.Epoch()
+	pool.Run(func(shard int) {
+		lo, hi := pool.Range(len(ids), shard)
+		var builds uint64
+		for _, id := range ids[lo:hi] {
+			h := &c.hoods[id]
+			if h.epoch == e {
+				continue
+			}
+			c.rebuildInto(id, h, &c.shardScratch[shard])
+			h.epoch = e
+			builds++
+		}
+		c.shardBuilds[shard] = builds
+	})
+	for _, b := range c.shardBuilds[:n] {
+		c.builds += b
 	}
 }
 

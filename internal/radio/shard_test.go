@@ -1,0 +1,130 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/par"
+	"github.com/vanetlab/relroute/internal/spatial"
+)
+
+// shardWorld populates a grid with a random cloud and returns two caches
+// over the SAME grid: one exercised lazily, one via RebuildAll.
+func shardWorld(n int) (*spatial.Grid, *Cache, *Cache, []int32) {
+	grid := spatial.NewGrid(250)
+	model := channel.UnitDisk{Range: 250}
+	lazy := NewCache(grid, model)
+	eager := NewCache(grid, model)
+	rng := rand.New(rand.NewSource(11))
+	ids := make([]int32, n)
+	for id := int32(0); id < int32(n); id++ {
+		grid.Update(id, geom.V(rng.Float64()*3000, rng.Float64()*500))
+		ids[id] = id
+	}
+	return grid, lazy, eager, ids
+}
+
+// TestRebuildAllMatchesLazy pins the prefetch contract: after RebuildAll,
+// every neighborhood is exactly — same receivers, same order, same
+// distances — what the lazy Links path computes on demand, across epochs
+// and shard counts.
+func TestRebuildAllMatchesLazy(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		grid, lazy, eager, ids := shardWorld(80)
+		pool := par.New(shards)
+		defer pool.Close()
+		rng := rand.New(rand.NewSource(23))
+		for epoch := 0; epoch < 5; epoch++ {
+			eager.RebuildAll(pool, ids)
+			for _, id := range ids {
+				want := lazy.Links(id)
+				got := eager.Links(id)
+				if len(want) != len(got) {
+					t.Fatalf("shards=%d epoch %d node %d: %d links, want %d", shards, epoch, id, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("shards=%d epoch %d node %d link %d: %+v, want %+v", shards, epoch, id, i, got[i], want[i])
+					}
+				}
+			}
+			// move a third of the nodes and advance the epoch
+			for _, id := range ids {
+				if id%3 == 0 {
+					grid.Update(id, geom.V(rng.Float64()*3000, rng.Float64()*500))
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildAllSkipsFreshAndCountsBuilds checks idempotence within an
+// epoch: a second RebuildAll is a no-op (Builds does not move), and the
+// build counter matches the population the first pass actually built.
+func TestRebuildAllSkipsFreshAndCountsBuilds(t *testing.T) {
+	_, _, eager, ids := shardWorld(60)
+	pool := par.New(4)
+	defer pool.Close()
+	eager.RebuildAll(pool, ids)
+	if got := eager.Builds(); got != 60 {
+		t.Fatalf("first RebuildAll built %d hoods, want 60", got)
+	}
+	eager.RebuildAll(pool, ids)
+	if got := eager.Builds(); got != 60 {
+		t.Fatalf("second RebuildAll rebuilt fresh hoods: builds = %d, want 60", got)
+	}
+}
+
+// TestRebuildAllSteadyStateAllocs pins the arena contract: once the
+// per-shard scratch arenas and hood slices have warmed up, an eager
+// rebuild's only allocation is the fork closure itself — nothing scales
+// with the population. A vehicle toggling between two cells keeps the
+// epoch turning over (so every hood really rebuilds each pass) without
+// growing any neighborhood past its warmed capacity.
+func TestRebuildAllSteadyStateAllocs(t *testing.T) {
+	grid, _, eager, ids := shardWorld(100)
+	pool := par.New(4)
+	defer pool.Close()
+	there, back := geom.V(2990, 10), geom.V(10, 490)
+	tick := 0
+	move := func() {
+		tick++
+		if tick%2 == 0 {
+			grid.Update(0, there)
+		} else {
+			grid.Update(0, back)
+		}
+	}
+	for i := 0; i < 4; i++ { // warm arenas at both geometries
+		move()
+		eager.RebuildAll(pool, ids)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		move()
+		eager.RebuildAll(pool, ids)
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state RebuildAll allocates %.1f per tick, want <= 1 (the fork closure)", allocs)
+	}
+}
+
+// TestPrevEpochUseTracksDemand checks the demand signal behind the
+// world's prefetch heuristic: it reports how many distinct transmitters
+// asked for a neighborhood in the PREVIOUS epoch, not the current one.
+func TestPrevEpochUseTracksDemand(t *testing.T) {
+	grid, lazy, _, _ := shardWorld(10)
+	if got := lazy.PrevEpochUse(); got != 0 {
+		t.Fatalf("fresh cache PrevEpochUse = %d", got)
+	}
+	for id := int32(0); id < 6; id++ {
+		lazy.Links(id)
+		lazy.Links(id) // repeat requests must not double-count
+	}
+	grid.Update(0, geom.V(9999, 0)) // epoch turns over
+	lazy.Links(0)
+	if got := lazy.PrevEpochUse(); got != 6 {
+		t.Fatalf("PrevEpochUse after epoch turnover = %d, want 6", got)
+	}
+}

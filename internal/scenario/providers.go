@@ -114,6 +114,7 @@ func BuildSpec(protocol string, spec Spec, opts Options) (*Scenario, error) {
 		Seed:      rng.Int63(),
 		Channel:   ch,
 		Estimator: opts.Estimator,
+		Shards:    opts.Shards,
 	}, model)
 
 	label := spec.Name

@@ -156,6 +156,13 @@ type Options struct {
 	StabilityThreshold float64
 	// DirectionBias toggles greedy's direction tie-break (default true).
 	DirectionBiasOff bool
+	// Shards is the world's intra-run parallelism (netstack.Config.Shards):
+	// the step loop's per-tick phases fan out over this many worker shards
+	// within one simulation. Zero or one keeps the fully sequential
+	// engine. Output is byte-identical at every fixed shard count, so —
+	// unlike Seed — Shards is not part of the scenario's identity and
+	// does not appear in its name.
+	Shards int
 }
 
 func (o *Options) setDefaults() {

@@ -95,6 +95,58 @@ func (g *Grid) Update(id int32, p geom.Vec2) {
 	g.pos[id] = p
 }
 
+// Move is a staged cross-cell transition returned by Stage and applied by
+// Commit. Values are opaque to callers.
+type Move struct {
+	id       int32
+	from, to cellKey
+}
+
+// Stage writes the indexed position of an item without touching cell
+// membership or the epoch. It is the concurrent half of the bulk-update
+// protocol the sharded world engine uses for its per-tick refresh:
+// distinct items live in distinct slots of the dense position array, so
+// Stage may be called concurrently for distinct ids (and for nothing
+// else — no query or mutation may overlap it). The serial half then
+// applies every returned cross-cell Move in a deterministic order and
+// advances the epoch once with AdvanceEpoch.
+//
+// ok is false when the item is not indexed — the caller falls back to a
+// serial Update. changed reports whether the position differed (the
+// signal to advance the epoch at the barrier); cross reports that mv
+// holds a cell transition to Commit. Between a Stage that returns a move
+// and its Commit, range queries over the item are undefined.
+func (g *Grid) Stage(id int32, p geom.Vec2) (changed bool, mv Move, cross, ok bool) {
+	if id < 0 || int(id) >= len(g.in) || !g.in[id] {
+		return false, Move{}, false, false
+	}
+	if g.pos[id] == p {
+		return false, Move{}, false, true
+	}
+	old := g.key(g.pos[id])
+	nk := g.key(p)
+	g.pos[id] = p
+	if old == nk {
+		return true, Move{}, false, true
+	}
+	return true, Move{id: id, from: old, to: nk}, true, true
+}
+
+// Commit applies a staged cross-cell move: the same remove-then-append
+// cell surgery Update performs, in whatever order the caller replays the
+// moves — cell list order is observable (it decides range-query order),
+// so callers must replay in a deterministic order. Serial only.
+func (g *Grid) Commit(mv Move) {
+	g.removeFromCell(mv.from, mv.id)
+	g.cells[mv.to] = append(g.cells[mv.to], mv.id)
+}
+
+// AdvanceEpoch advances the epoch by one. It is the bulk-update
+// counterpart of the per-Update bump: a tick's worth of Stage/Commit
+// calls changes the geometry once as far as any epoch-keyed memo is
+// concerned, no matter how many items moved.
+func (g *Grid) AdvanceEpoch() { g.epoch++ }
+
 // Remove deletes the item from the index. Removing an unknown item is a
 // no-op.
 func (g *Grid) Remove(id int32) {

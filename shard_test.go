@@ -1,0 +1,81 @@
+package relroute_test
+
+// Shard-determinism tests: the intra-run parallel engine must be an
+// implementation detail. ExperimentConfig.Shards (and Options.Shards)
+// change where per-tick work runs, never what it computes, so every
+// experiment table is byte-identical for any fixed shard count — the
+// second determinism axis next to Workers, and the contract that makes
+// "same seed, same output" survive on any machine.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/vanetlab/relroute"
+)
+
+// TestGoldenOutputsSharded re-runs the golden experiments with Shards=4 —
+// at one worker and eight — against the SAME golden files the sequential
+// engine is pinned to. Nothing about the expected bytes changes: the
+// sharded engine has no sanctioned differences.
+func TestGoldenOutputsSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiments are full simulations; skipped in -short")
+	}
+	for _, id := range []string{"fig2", "abl-storm", "table1"} {
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("%s/w%d/s4", id, workers)
+			t.Run(name, func(t *testing.T) {
+				tab, err := relroute.RunExperiment(id, relroute.ExperimentConfig{
+					Seed: 1, Quick: true, Workers: workers, Shards: 4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := tab.String()
+				path := filepath.Join("testdata", fmt.Sprintf("golden_%s_w%d.txt", id, workers))
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != string(want) {
+					t.Fatalf("sharded run of %s diverged from the sequential golden capture.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestShardInvariance is the -short half of the contract, sized so that
+// `go test -race -short` drives the sharded engine — churn worlds, trace
+// replay, the link-accuracy audit — under the race detector on every CI
+// run: each experiment's table at Shards=4 must be byte-identical to
+// Shards=1 at both one worker and eight.
+func TestShardInvariance(t *testing.T) {
+	for _, id := range []string{"churn", "trace-replay", "link-accuracy"} {
+		t.Run(id, func(t *testing.T) {
+			var want string
+			for _, workers := range []int{1, 8} {
+				for _, shards := range []int{1, 4} {
+					tab, err := relroute.RunExperiment(id, relroute.ExperimentConfig{
+						Seed: 1, Quick: true, Workers: workers, Shards: shards,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := tab.String()
+					if want == "" {
+						want = got
+						continue
+					}
+					if got != want {
+						t.Fatalf("%s at workers=%d shards=%d diverged:\n--- got ---\n%s\n--- want ---\n%s",
+							id, workers, shards, got, want)
+					}
+				}
+			}
+		})
+	}
+}
