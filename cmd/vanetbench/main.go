@@ -28,6 +28,11 @@
 //	                            # prediction MAE/bias vs ground-truth
 //	                            # link breaks
 //
+//	vanetbench chaos -json BENCH_chaos.json
+//	                            # fault plane degradation: every chaos
+//	                            # profile × protocol, fault-window PDR,
+//	                            # time-to-reroute, recovery latency
+//
 // Profiling: both modes accept -cpuprofile and -memprofile to capture
 // pprof profiles of the run, e.g.
 //
@@ -101,6 +106,8 @@ func main() {
 		err = runScale(args[1:])
 	case len(args) > 0 && args[0] == "linkacc":
 		err = runLinkAcc(args[1:])
+	case len(args) > 0 && args[0] == "chaos":
+		err = runChaos(args[1:])
 	default:
 		err = run(args)
 	}
@@ -481,6 +488,60 @@ func runLinkAcc(args []string) error {
 		enc = append(enc, '\n')
 		if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
 			return fmt.Errorf("linkacc: %w", err)
+		}
+	}
+	return nil
+}
+
+// chaosReport is the chaos -json document CI archives as BENCH_chaos.json
+// alongside the other benchmark artifacts.
+type chaosReport struct {
+	Seed     int64                `json:"seed"`
+	Quick    bool                 `json:"quick"`
+	Profiles []string             `json:"profiles"`
+	Results  []relroute.ChaosCell `json:"results"`
+}
+
+// runChaos executes the fault plane's degradation grid: every chaos
+// profile of the chaos experiment against its protocol set, reporting
+// fault-window PDR, time-to-reroute, and recovery latency per cell.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("vanetbench chaos", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "random seed")
+		quick    = fs.Bool("quick", false, "reduced populations and durations")
+		parallel = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 1, "intra-run worker shards per simulation (output is identical for any value)")
+		jsonOut  = fs.String("json", "", "write a machine-readable report to this file")
+	)
+	startProfiles := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "vanetbench:", perr)
+		}
+	}()
+	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards}
+	cells, err := relroute.Chaos(cfg)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	relroute.ChaosTable(cells).Render(os.Stdout)
+	if *jsonOut != "" {
+		rep := chaosReport{Seed: *seed, Quick: *quick, Profiles: relroute.FaultProfiles(), Results: cells}
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			return fmt.Errorf("chaos: %w", err)
 		}
 	}
 	return nil

@@ -52,6 +52,8 @@ func run(args []string) error {
 		tickets   = fs.Int("tickets", 3, "TBP-SS ticket budget")
 		estimator = fs.String("estimator", "", "reliability-plane link estimator (see -list-estimators; empty = composite)")
 		listEst   = fs.Bool("list-estimators", false, "list link estimators and exit")
+		faults    = fs.String("faults", "", "chaos profile injecting failures (see -list-faults; empty = none)")
+		listFault = fs.Bool("list-faults", false, "list fault profiles and exit")
 		shards    = fs.Int("shards", 1, "intra-run worker shards for the step loop (output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,12 +78,19 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *listFault {
+		descs := relroute.FaultProfileDescriptions()
+		for _, name := range relroute.FaultProfiles() {
+			fmt.Printf("%-18s %s\n", name, descs[name])
+		}
+		return nil
+	}
 	opts := relroute.Options{
 		Seed: *seed, Vehicles: *vehicles, HighwayLength: *length,
 		SpeedMean: *speed, SpeedStd: *speedStd, Duration: *duration,
 		Flows: *flows, FlowPackets: *packets,
 		RSUs: *rsus, Buses: *buses, Shadowing: *shadowing, Range: *rng,
-		TicketBudget: *tickets, Estimator: *estimator,
+		TicketBudget: *tickets, Estimator: *estimator, Faults: *faults,
 		Scenario: *scen, TracePath: *trace,
 		ArrivalRate: *arrival, MeanLifetime: *lifetime,
 		Shards: *shards,
@@ -109,6 +118,16 @@ func run(args []string) error {
 	}
 	if sum.PathLifetime > 0 {
 		fmt.Printf("path life  %.1fs predicted mean\n", sum.PathLifetime)
+	}
+	if *faults != "" {
+		fmt.Printf("faults     %s: %d crashed, %d recovered\n", *faults, sum.Crashes, sum.Recoveries)
+		fmt.Printf("fault PDR  %.3f (%d/%d in-window)\n", sum.FaultPDR, sum.FaultDelivered, sum.FaultSent)
+		if sum.TimeToReroute > 0 {
+			fmt.Printf("reroute    %.3fs mean crash-to-delivery\n", sum.TimeToReroute)
+		}
+		if sum.RecoveryLatency > 0 {
+			fmt.Printf("recovery   %.3fs mean rejoin-to-heard\n", sum.RecoveryLatency)
+		}
 	}
 	return nil
 }

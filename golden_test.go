@@ -31,7 +31,7 @@ func TestGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden experiments are full simulations; skipped in -short")
 	}
-	for _, id := range []string{"fig2", "abl-storm", "table1"} {
+	for _, id := range []string{"fig2", "abl-storm", "table1", "abl-disaster", "chaos"} {
 		for _, workers := range []int{1, 8} {
 			name := fmt.Sprintf("%s/w%d", id, workers)
 			t.Run(name, func(t *testing.T) {

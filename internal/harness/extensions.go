@@ -48,7 +48,10 @@ func AblationHybrid(cfg Config) (*Table, error) {
 // information is most needed, the information may however not be delivered
 // because the infrastructure is damaged." Half-way through a sparse-traffic
 // run every RSU is disabled; DRR's delivery collapses to its V2V fallback,
-// while the bus-ferry and pure-V2V baselines are unaffected.
+// while the bus-ferry and pure-V2V baselines are unaffected. The disaster
+// is the fault plane's rsu-blackout profile (Options.Faults), so crashed
+// RSUs also drop their queued frames and age out of the location service —
+// no post-build scheduling hook.
 func AblationDisaster(cfg Config) (*Table, error) {
 	duration := 80.0
 	packets := 30
@@ -69,16 +72,8 @@ func AblationDisaster(cfg Config) (*Table, error) {
 		FlowInterval: (duration - 15) / float64(packets),
 		RSUs:         3,
 	}
-	// disaster run: RSUs die at half time, injected post-build
-	destroyRSUs := func(sc *scenario.Scenario) {
-		rsus := sc.RSUs
-		world := sc.World
-		world.Engine().At(duration/2, func() {
-			for _, id := range rsus {
-				world.SetNodeActive(id, false)
-			}
-		})
-	}
+	disasterOpts := base
+	disasterOpts.Faults = "rsu-blackout"
 	busOpts := base
 	busOpts.RSUs = 0
 	busOpts.Buses = 2
@@ -87,7 +82,7 @@ func AblationDisaster(cfg Config) (*Table, error) {
 	var camp runner.Campaign
 	camp.Add(
 		runner.Run{Label: "DRR, RSUs healthy", Protocol: "DRR", Opts: base},
-		runner.Run{Label: "DRR, RSUs destroyed at t/2", Protocol: "DRR", Opts: base, Setup: destroyRSUs},
+		runner.Run{Label: "DRR, RSUs destroyed at t/2", Protocol: "DRR", Opts: disasterOpts},
 		runner.Run{Label: "Bus ferries (no RSUs)", Protocol: "Bus", Opts: busOpts},
 		runner.Run{Label: "Greedy V2V (no RSUs)", Protocol: "Greedy", Opts: v2vOpts},
 	)

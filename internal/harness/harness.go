@@ -152,6 +152,7 @@ func registry() []Experiment {
 		{ID: "churn", Title: "open-world vehicle churn vs the closed-world assumption (E-S1)", Run: ScenarioChurn},
 		{ID: "trace-replay", Title: "end-to-end FCD trace replay through the playback model (E-S2)", Run: ScenarioTraceReplay},
 		{ID: "link-accuracy", Title: "predicted vs observed link lifetime per estimator (E-R1)", Run: LinkAccuracy},
+		{ID: "chaos", Title: "graceful degradation under injected faults (E-F1)", Run: Chaos},
 	}
 }
 

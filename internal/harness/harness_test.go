@@ -8,12 +8,12 @@ import (
 
 func TestAllExperimentsRegisteredAndRunnable(t *testing.T) {
 	exps := All()
-	if len(exps) != 17 {
+	if len(exps) != 18 {
 		t.Fatalf("registered experiments = %d", len(exps))
 	}
 	wantIDs := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1",
 		"abl-storm", "abl-regimes", "abl-lifetime", "abl-probvsgeo", "abl-tickets", "abl-hybrid", "abl-disaster",
-		"churn", "trace-replay", "link-accuracy"}
+		"churn", "trace-replay", "link-accuracy", "chaos"}
 	for _, id := range wantIDs {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)

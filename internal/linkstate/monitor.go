@@ -148,6 +148,17 @@ func (m *Monitor) Len() int { return len(m.entries) }
 // Remove deletes the entry for id, if present, discarding its evidence.
 func (m *Monitor) Remove(id NodeID) { delete(m.entries, id) }
 
+// Reset discards every entry and its accumulated evidence, returning the
+// monitor to its freshly-constructed state. A node recovering from a
+// crash calls this so it re-enters the network with no stale neighbors or
+// feedback history — everything it knows must be re-learned from beacons.
+// Instrumentation counters survive; they describe the monitor's lifetime,
+// not the current table.
+func (m *Monitor) Reset() {
+	clear(m.entries)
+	m.oldest = math.Inf(1)
+}
+
 // AppendIDs appends the ID of every live link to dst and returns it,
 // in map order — callers that act on the result must filter or sort it
 // before anything observable depends on the order. It exists so periodic

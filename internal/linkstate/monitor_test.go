@@ -176,3 +176,35 @@ func TestMonitorOldestBound(t *testing.T) {
 		t.Fatalf("fresh entry expired: %v", gone)
 	}
 }
+
+// TestMonitorReset pins the crash-recovery contract: Reset returns the
+// monitor to its freshly-constructed state — no entries, no evidence, the
+// expiry bound re-armed — while lifetime instrumentation survives. A
+// re-learned entry starts from scratch (Beacons == 1, FeedbackProb == 1).
+func TestMonitorReset(t *testing.T) {
+	m := NewMonitor(2.5, 250, nil)
+	m.Update(1, Vehicle, geom.V(10, 0), geom.V(5, 0), -60, 0)
+	m.Update(2, Vehicle, geom.V(30, 0), geom.V(5, 0), -65, 0)
+	m.Update(1, Vehicle, geom.V(15, 0), geom.V(5, 0), -62, 1)
+	m.RecordSendFailed(2)
+	m.Expire(4) // walks the table once: both entries are stale
+	sweepsBefore := m.FullSweeps()
+	if m.Len() != 0 {
+		t.Fatalf("len before reset = %d, want 0 after full expiry", m.Len())
+	}
+	m.Update(1, Vehicle, geom.V(20, 0), geom.V(5, 0), -61, 5)
+	m.Reset()
+	if m.Len() != 0 || m.Has(1) || m.Has(2) {
+		t.Fatalf("reset left entries behind: len=%d", m.Len())
+	}
+	// the oldest-entry bound is re-armed: an empty table never sweeps,
+	// no matter how far time advances
+	if m.Expire(1e9); m.FullSweeps() != sweepsBefore {
+		t.Fatalf("reset table swept: %d sweeps, want %d", m.FullSweeps(), sweepsBefore)
+	}
+	// evidence re-accumulates from scratch
+	e := m.Update(1, Vehicle, geom.V(25, 0), geom.V(5, 0), -63, 10)
+	if e.Beacons != 1 || e.FirstSeen != 10 || e.FeedbackProb != 1 {
+		t.Fatalf("re-learned entry carries stale evidence: %+v", e)
+	}
+}

@@ -196,6 +196,10 @@ type Layer struct {
 	done    func(f Frame)
 	nodes   []*nodeState // dense, keyed by node id
 	recFree []*reception
+	// linkFault, when set, returns an extra loss probability the fault
+	// plane imposes on the (from, to) link right now: 0 is a clean link,
+	// ≥1 severs it outright, anything between draws one extra uniform.
+	linkFault func(from, to int32) float64
 }
 
 // NewLayer wires the MAC to the engine, the shared radio link cache
@@ -210,6 +214,34 @@ func NewLayer(eng *sim.Engine, rc *radio.Cache, cfg Config, col *metrics.Collect
 		eng: eng, radio: rc, cfg: cfg,
 		rng: eng.Rand(), col: col, deliver: deliver, fail: fail,
 	}
+}
+
+// SetLinkFault installs the fault plane's per-link loss hook. The RNG
+// draw-order contract: for each candidate receiver, the fault draw (one
+// uniform, only when the returned probability is strictly inside (0,1))
+// happens immediately after the channel's Decodable draw, in neighborhood
+// order. A probability ≥1 severs the link with no draw at all, so a hard
+// partition perturbs no stream. fn must be nil or allocation-free; it runs
+// on the per-frame hot path.
+func (l *Layer) SetLinkFault(fn func(from, to int32) float64) { l.linkFault = fn }
+
+// Flush discards every frame queued at id without failure upcalls or loss
+// accounting, and disarms unicast ARQ for any transmission currently on
+// the air. The fault plane calls it when a node crashes: a dead radio
+// neither retries nor reports link breaks, but receptions already in
+// flight still resolve at their airtime end (the energy is on the air
+// whether or not the sender survives).
+func (l *Layer) Flush(id int32) {
+	st := l.state(id)
+	for st.queue.len() > 0 {
+		l.frameDone(st.queue.popFront())
+	}
+	st.retries = 0
+	// Pretend the in-flight unicast (if any) succeeded: finishTx then
+	// neither re-queues it nor raises the fail upcall, and the dangling
+	// record pointer is cleared so resolveReception can't write back.
+	st.txUnicastRec = nil
+	st.txUnicastOK = true
 }
 
 // OnFrameDone registers a hook invoked exactly once per accepted frame when
@@ -358,7 +390,20 @@ func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 	l.col.MACTransmits++
 
 	for _, lk := range l.radio.Links(from) {
-		rec := l.newReception(end, l.radio.Decodable(lk, l.rng))
+		decoded := l.radio.Decodable(lk, l.rng)
+		if l.linkFault != nil {
+			// Fault losses stack after the channel draw. Only a partial
+			// loss consumes a uniform; severed links (p≥1) draw nothing,
+			// keeping fault-free streams byte-identical.
+			if p := l.linkFault(from, lk.To); p > 0 {
+				if p >= 1 {
+					decoded = false
+				} else if l.rng.Float64() < p {
+					decoded = false
+				}
+			}
+		}
+		rec := l.newReception(end, decoded)
 		rxState := l.state(lk.To)
 		// any temporal overlap destroys both frames (no capture); entries
 		// ending exactly now don't overlap — they resolve this instant

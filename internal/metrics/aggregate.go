@@ -80,6 +80,13 @@ type Aggregate struct {
 	LinkMAE       Stat
 	LinkBias      Stat
 	LinkCensored  Stat
+
+	Crashes         Stat
+	Recoveries      Stat
+	FaultPDR        Stat
+	FaultCtlSpike   Stat
+	TimeToReroute   Stat
+	RecoveryLatency Stat
 }
 
 // AggregateSummaries folds per-seed summaries (typically one per
@@ -122,5 +129,12 @@ func AggregateSummaries(sums []Summary) Aggregate {
 		LinkMAE:       col(func(s Summary) float64 { return s.LinkMAE }),
 		LinkBias:      col(func(s Summary) float64 { return s.LinkBias }),
 		LinkCensored:  col(func(s Summary) float64 { return float64(s.LinkCensored) }),
+
+		Crashes:         col(func(s Summary) float64 { return float64(s.Crashes) }),
+		Recoveries:      col(func(s Summary) float64 { return float64(s.Recoveries) }),
+		FaultPDR:        col(func(s Summary) float64 { return s.FaultPDR }),
+		FaultCtlSpike:   col(func(s Summary) float64 { return s.FaultCtlSpike }),
+		TimeToReroute:   col(func(s Summary) float64 { return s.TimeToReroute }),
+		RecoveryLatency: col(func(s Summary) float64 { return s.RecoveryLatency }),
 	}
 }

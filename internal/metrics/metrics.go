@@ -42,6 +42,17 @@ type Collector struct {
 	NodeJoins  int // nodes that joined the world mid-run
 	NodeLeaves int // nodes that left the world mid-run
 
+	// fault plane (all zero when no fault profile is installed)
+	FaultCrashes       int     // nodes crashed by fault events
+	FaultRecoveries    int     // crashed nodes that came back
+	DataSentFault      int     // data packets originated inside a fault window
+	DataDeliveredFault int     // deliveries of packets originated inside a fault window
+	ControlFault       int     // control transmissions inside fault windows
+	FaultTime          float64 // total seconds covered by fault windows
+	RunTime            float64 // run duration, for in/out-of-window rates
+	rerouteLats        []float64
+	recoveryLats       []float64
+
 	// link-prediction accuracy (populated only when the world's link audit
 	// is enabled; see netstack.World.EnableLinkAudit)
 	LinkSamples  int // resolved predicted-vs-observed lifetime samples
@@ -89,6 +100,53 @@ func (c *Collector) OnDataDelivered(uid uint64, delay float64, hops int) bool {
 func (c *Collector) OnControl(kind string, bytes int) {
 	c.Control[kind]++
 	c.ControlBytes += bytes
+}
+
+// OnReroute records how long after a fault-induced crash the next data
+// packet reached its destination — the time the surviving topology took
+// to carry traffic around the hole.
+func (c *Collector) OnReroute(seconds float64) {
+	c.rerouteLats = append(c.rerouteLats, seconds)
+}
+
+// OnRecoveryLatency records how long after a node's recovery it was first
+// heard again (its first beacon reached some neighbor) — the time the
+// network took to re-absorb it.
+func (c *Collector) OnRecoveryLatency(seconds float64) {
+	c.recoveryLats = append(c.recoveryLats, seconds)
+}
+
+// FaultPDR returns the delivery ratio of packets originated inside fault
+// windows, the headline graceful-degradation number.
+func (c *Collector) FaultPDR() float64 {
+	if c.DataSentFault == 0 {
+		return 0
+	}
+	return float64(c.DataDeliveredFault) / float64(c.DataSentFault)
+}
+
+// MeanTimeToReroute returns the mean crash-to-next-delivery latency.
+func (c *Collector) MeanTimeToReroute() float64 { return mean(c.rerouteLats) }
+
+// MeanRecoveryLatency returns the mean recovery-to-first-beacon-heard
+// latency of recovered nodes.
+func (c *Collector) MeanRecoveryLatency() float64 { return mean(c.recoveryLats) }
+
+// FaultControlSpike returns the ratio of the control transmission rate
+// inside fault windows to the rate outside them: >1 means faults made the
+// control plane chattier (route re-discovery storms). It is 0 when no
+// fault windows exist and equals the inside rate when nothing was sent
+// outside.
+func (c *Collector) FaultControlSpike() float64 {
+	if c.FaultTime <= 0 || c.RunTime <= c.FaultTime {
+		return 0
+	}
+	in := float64(c.ControlFault) / c.FaultTime
+	out := float64(c.ControlTotal()-c.ControlFault) / (c.RunTime - c.FaultTime)
+	if out == 0 {
+		return in
+	}
+	return in / out
 }
 
 // OnPathLifetime records the observed lifetime of an established path.
@@ -271,6 +329,19 @@ type Summary struct {
 	LinkBias        float64
 	LinkCensored    int
 	LinkCalibration [len(LinkBucketEdges) + 1]CalBucket
+	// Fault-plane degradation metrics (all zero without a fault profile):
+	// crash/recovery event counts, in-window traffic accounting, the
+	// fault-window delivery ratio, the control-rate spike factor, and the
+	// reroute/recovery latencies in seconds.
+	Crashes         int
+	Recoveries      int
+	FaultSent       int
+	FaultDelivered  int
+	FaultPDR        float64
+	FaultControl    int
+	FaultCtlSpike   float64
+	TimeToReroute   float64
+	RecoveryLatency float64
 	// Control is the per-type control transmission count (RREQ, RREP, ...),
 	// a copy of the collector's map.
 	Control map[string]int
@@ -309,6 +380,15 @@ func (c *Collector) Summarize(protocol, scenario string) Summary {
 		LinkBias:        c.LinkBias(),
 		LinkCensored:    c.LinkCensored,
 		LinkCalibration: c.LinkCalibration(),
+		Crashes:         c.FaultCrashes,
+		Recoveries:      c.FaultRecoveries,
+		FaultSent:       c.DataSentFault,
+		FaultDelivered:  c.DataDeliveredFault,
+		FaultPDR:        c.FaultPDR(),
+		FaultControl:    c.ControlFault,
+		FaultCtlSpike:   c.FaultControlSpike(),
+		TimeToReroute:   c.MeanTimeToReroute(),
+		RecoveryLatency: c.MeanRecoveryLatency(),
 		Control:         ctl,
 	}
 }

@@ -149,7 +149,11 @@ func (a *API) NewUID() uint64 {
 // records delay and hop metrics; duplicate UIDs are counted as duplicates.
 // It reports whether this was the first delivery.
 func (a *API) Deliver(pkt *Packet) bool {
-	return a.world.col.OnDataDelivered(pkt.UID, a.Now()-pkt.Created, pkt.Hops)
+	first := a.world.col.OnDataDelivered(pkt.UID, a.Now()-pkt.Created, pkt.Hops)
+	if first && a.world.onFirstDelivery != nil {
+		a.world.onFirstDelivery(pkt.Created)
+	}
+	return first
 }
 
 // Drop reports that a data packet was abandoned (no route, TTL, queue

@@ -216,6 +216,14 @@ type World struct {
 	locVel []geom.Vec2
 	locOK  []bool
 
+	// fault-plane hooks (see faultplane.go); all nil unless a fault
+	// schedule is installed, so fault-free runs pay one nil check per
+	// call site and draw nothing extra.
+	beaconFilter     func(NodeID, *rand.Rand) bool
+	faultBeaconHeard func(NodeID)
+	onFirstDelivery  func(created float64)
+	faultWindow      func(now float64) bool
+
 	// stateBuf is the reused mobility snapshot buffer for the tick loop.
 	stateBuf []mobility.State
 
@@ -477,6 +485,9 @@ func (w *World) AddFlow(src, dst NodeID, start, interval float64, count, size in
 				return
 			}
 			w.col.OnDataSent()
+			if w.faultWindow != nil && w.faultWindow(w.eng.Now()) {
+				w.col.DataSentFault++
+			}
 			n.router.Originate(dst, size)
 		})
 	}
@@ -501,6 +512,9 @@ func (w *World) AddVehicleFlow(src, dst mobility.VehicleID, start, interval floa
 				return
 			}
 			w.col.OnDataSent()
+			if w.faultWindow != nil && w.faultWindow(w.eng.Now()) {
+				w.col.DataSentFault++
+			}
 			sn.router.Originate(dn.id, size)
 		})
 	}
@@ -792,16 +806,17 @@ func (w *World) refreshLocations() {
 	for _, n := range w.nodes {
 		w.locPos[n.id] = n.pos
 		w.locVel[n.id] = n.vel
-		// departed vehicles age out of the directory at the next refresh
-		// instead of haunting it at their last position forever
-		w.locOK[n.id] = !n.left
+		// departed vehicles — and crashed nodes, whose radios are dark —
+		// age out of the directory at the next refresh instead of
+		// haunting it at their last position forever
+		w.locOK[n.id] = !n.left && n.active
 	}
 }
 
 func (w *World) lookupPosition(dst NodeID) (geom.Vec2, geom.Vec2, bool) {
 	if int(dst) >= len(w.locOK) || dst < 0 || !w.locOK[dst] {
 		n := w.nodeByID(dst)
-		if n == nil || n.left {
+		if n == nil || n.left || !n.active {
 			return geom.Vec2{}, geom.Vec2{}, false
 		}
 		return n.pos, n.vel, true
@@ -830,6 +845,9 @@ func (w *World) sendBeacon(n *node) {
 	if !n.active {
 		return
 	}
+	if w.beaconFilter != nil && w.beaconFilter(n.id, n.random()) {
+		return // suppressed by a fault window; the draw stays on n's stream
+	}
 	var pkt *Packet
 	if k := len(w.helloFree); k > 0 {
 		pkt = w.helloFree[k-1]
@@ -847,6 +865,9 @@ func (w *World) sendBeacon(n *node) {
 		Payload: b,
 	}
 	w.col.OnControl(KindHello, pkt.Size)
+	if w.faultWindow != nil && w.faultWindow(w.eng.Now()) {
+		w.col.ControlFault++
+	}
 	w.mac.Send(mac.Frame{From: int32(n.id), To: mac.Broadcast, Size: pkt.Size, Payload: pkt})
 }
 
@@ -863,6 +884,9 @@ func (w *World) sendFrame(n *node, to NodeID, pkt *Packet) {
 		w.col.DataBytes += pkt.Size
 	} else {
 		w.col.OnControl(pkt.Kind, pkt.Size)
+		if w.faultWindow != nil && w.faultWindow(w.eng.Now()) {
+			w.col.ControlFault++
+		}
 	}
 	macTo := mac.Broadcast
 	if to != Broadcast {
@@ -911,6 +935,11 @@ func (w *World) dispatch(to int32, f mac.Frame) {
 		rssi := w.ch.RSSI(d, n.random())
 		nb := n.mon.Update(pkt.From, b.kind, b.pos, b.vel, rssi, w.eng.Now())
 		n.router.OnBeacon(*nb)
+		if w.faultBeaconHeard != nil {
+			// someone heard pkt.From beaconing — the fault plane closes
+			// its recovery-latency clock for that node, if one is open
+			w.faultBeaconHeard(pkt.From)
+		}
 		return
 	}
 	// a decoded non-beacon frame is positive link feedback for the

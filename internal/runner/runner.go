@@ -11,13 +11,17 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/scenario"
+	"github.com/vanetlab/relroute/internal/sim"
 )
 
 // Run is one simulation execution: a protocol instantiated on one option
@@ -99,12 +103,25 @@ type Result struct {
 	Run     Run
 	Summary metrics.Summary
 	Err     error
+	// Attempts is how many times the run was executed (> 1 only when the
+	// pool retried a transient failure).
+	Attempts int
 }
 
 // Pool executes campaigns on a bounded worker pool.
 type Pool struct {
 	// Workers is the goroutine count; <= 0 means GOMAXPROCS.
 	Workers int
+	// Timeout bounds each run attempt's wall-clock time; zero means no
+	// limit. On expiry the attempt's engine is interrupted at the next
+	// event boundary and the attempt records a timeout error, so one hung
+	// simulation degrades to a recorded failure instead of wedging its
+	// worker.
+	Timeout time.Duration
+	// Retries is how many extra attempts a transiently failed run (panic,
+	// timeout, or mid-run error — not a scenario-build error) is given
+	// before its error is recorded. Zero means a single attempt.
+	Retries int
 }
 
 func (p Pool) workers(n int) int {
@@ -132,7 +149,7 @@ func (p Pool) Execute(c Campaign) []Result {
 	workers := p.workers(n)
 	if workers == 1 {
 		for i, r := range c.Runs {
-			results[i] = execute(r)
+			results[i] = p.execute(r)
 		}
 		return results
 	}
@@ -148,7 +165,7 @@ func (p Pool) Execute(c Campaign) []Result {
 				if i >= n {
 					return
 				}
-				results[i] = execute(c.Runs[i])
+				results[i] = p.execute(c.Runs[i])
 			}
 		}()
 	}
@@ -162,33 +179,61 @@ func Execute(c Campaign, workers int) []Result {
 	return Pool{Workers: workers}.Execute(c)
 }
 
-// execute builds and runs one scenario, recovering panics into errors so a
-// bad run cannot take down sibling workers.
-func execute(r Run) (res Result) {
+// execute runs r under the pool's timeout and retry policy: transient
+// failures are re-attempted from a fresh build (every attempt is the same
+// deterministic simulation, so a retry only helps against environmental
+// faults — OOM-killed goroutines, timeouts on a loaded machine), while
+// scenario-build errors fail immediately.
+func (p Pool) execute(r Run) Result {
+	for attempt := 1; ; attempt++ {
+		res, transient := p.attempt(r)
+		res.Attempts = attempt
+		if res.Err == nil || !transient || attempt > p.Retries {
+			return res
+		}
+	}
+}
+
+// attempt builds and runs one scenario, recovering panics into errors so a
+// bad run cannot take down sibling workers. The transient flag reports
+// whether retrying could plausibly change the outcome.
+func (p Pool) attempt(r Run) (res Result, transient bool) {
 	res.Run = r
+	transient = true
 	defer func() {
-		if p := recover(); p != nil {
-			res.Err = fmt.Errorf("runner: %s: panic: %v", r.Protocol, p)
+		if pv := recover(); pv != nil {
+			res.Err = fmt.Errorf("runner: %s: panic: %v", r.Protocol, pv)
 		}
 	}()
 	sc, err := scenario.Build(r.Protocol, r.Opts)
 	if err != nil {
 		res.Err = err
-		return res
+		return res, false
 	}
 	if r.Setup != nil {
 		r.Setup(sc)
 	}
+	if p.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), p.Timeout)
+		defer cancel()
+		// Interrupt is checked at event-boundary granularity, so the
+		// engine unwinds within a bounded number of events of expiry.
+		stop := context.AfterFunc(ctx, sc.World.Engine().Interrupt)
+		defer stop()
+	}
 	sum, err := sc.Run()
 	if err != nil {
+		if errors.Is(err, sim.ErrInterrupted) {
+			err = fmt.Errorf("%w (timed out after %v)", err, p.Timeout)
+		}
 		res.Err = err
-		return res
+		return res, true
 	}
 	if res.Run.Label == "" {
 		res.Run.Label = r.Protocol + "/" + sc.Name
 	}
 	res.Summary = sum
-	return res
+	return res, true
 }
 
 // Replications groups results into consecutive blocks of k — one block

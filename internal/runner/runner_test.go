@@ -1,13 +1,18 @@
 package runner
 
 import (
+	"errors"
 	"reflect"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/scenario"
+	"github.com/vanetlab/relroute/internal/sim"
 )
 
 func quickOpts(seed int64) scenario.Options {
@@ -103,6 +108,101 @@ func TestSetupHookRuns(t *testing.T) {
 	}
 	if !called {
 		t.Fatal("setup hook not invoked")
+	}
+}
+
+// TestTimeoutInterruptsHungRun wedges one run with a self-rescheduling
+// zero-delay event — simulated time never advances — and checks the pool's
+// timeout degrades it to a recorded error while the sibling run completes.
+func TestTimeoutInterruptsHungRun(t *testing.T) {
+	var c Campaign
+	c.Add(
+		Run{Protocol: "Greedy", Opts: quickOpts(1), Setup: func(sc *scenario.Scenario) {
+			eng := sc.World.Engine()
+			var spin func()
+			spin = func() { eng.After(0, spin) }
+			eng.After(0, spin)
+		}},
+		Run{Protocol: "Greedy", Opts: quickOpts(1)},
+	)
+	results := Pool{Workers: 2, Timeout: 100 * time.Millisecond}.Execute(c)
+	if results[0].Err == nil {
+		t.Fatal("hung run completed without error")
+	}
+	if !errors.Is(results[0].Err, sim.ErrInterrupted) {
+		t.Fatalf("hung run error = %v, want wrapped sim.ErrInterrupted", results[0].Err)
+	}
+	if !strings.Contains(results[0].Err.Error(), "timed out") {
+		t.Fatalf("hung run error %q does not mention the timeout", results[0].Err)
+	}
+	if results[0].Attempts != 1 {
+		t.Fatalf("hung run attempts = %d, want 1 (no retries configured)", results[0].Attempts)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("sibling run failed: %v", results[1].Err)
+	}
+	if results[1].Summary.DataSent == 0 {
+		t.Fatal("sibling run simulated nothing")
+	}
+}
+
+// TestRetryRecoversTransientPanic panics a run's first attempt only; with
+// one retry the second attempt must succeed and be counted.
+func TestRetryRecoversTransientPanic(t *testing.T) {
+	var calls atomic.Int64
+	var c Campaign
+	c.Add(Run{Protocol: "Greedy", Opts: quickOpts(1), Setup: func(sc *scenario.Scenario) {
+		if calls.Add(1) == 1 {
+			panic("transient fault")
+		}
+	}})
+	results := Pool{Workers: 1, Retries: 1}.Execute(c)
+	if results[0].Err != nil {
+		t.Fatalf("retried run still failed: %v", results[0].Err)
+	}
+	if results[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", results[0].Attempts)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("setup ran %d times, want 2", calls.Load())
+	}
+	if results[0].Summary.DataSent == 0 {
+		t.Fatal("retried run simulated nothing")
+	}
+}
+
+// TestBuildErrorsAreNotRetried: a bad configuration is deterministic, so
+// the pool must fail it once instead of burning its retry budget.
+func TestBuildErrorsAreNotRetried(t *testing.T) {
+	var c Campaign
+	c.Add(Run{Protocol: "NoSuchProto", Opts: quickOpts(1)})
+	results := Pool{Workers: 1, Retries: 3}.Execute(c)
+	if results[0].Err == nil {
+		t.Fatal("unknown protocol did not error")
+	}
+	if results[0].Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (build errors are permanent)", results[0].Attempts)
+	}
+}
+
+// TestRetryBudgetIsBounded: a run that always panics exhausts its retries
+// and records the error with the full attempt count.
+func TestRetryBudgetIsBounded(t *testing.T) {
+	var calls atomic.Int64
+	var c Campaign
+	c.Add(Run{Protocol: "Greedy", Opts: quickOpts(1), Setup: func(sc *scenario.Scenario) {
+		calls.Add(1)
+		panic("persistent fault")
+	}})
+	results := Pool{Workers: 1, Retries: 2}.Execute(c)
+	if results[0].Err == nil {
+		t.Fatal("always-panicking run reported success")
+	}
+	if results[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", results[0].Attempts)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("setup ran %d times, want 3", calls.Load())
 	}
 }
 

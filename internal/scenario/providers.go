@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/faults"
 	"github.com/vanetlab/relroute/internal/linkstate"
 	"github.com/vanetlab/relroute/internal/mobility"
 	"github.com/vanetlab/relroute/internal/netstack"
@@ -81,6 +82,9 @@ func BuildSpec(protocol string, spec Spec, opts Options) (*Scenario, error) {
 	if !linkstate.Known(opts.Estimator) {
 		return nil, fmt.Errorf("scenario: unknown link estimator %q (known: %v)", opts.Estimator, linkstate.Names())
 	}
+	if opts.Faults != "" && !faults.Known(opts.Faults) {
+		return nil, fmt.Errorf("scenario: unknown fault profile %q (known: %v)", opts.Faults, faults.Names())
+	}
 	if spec.Topology == nil {
 		spec.Topology = topologyFor(opts.Kind)
 	}
@@ -141,5 +145,21 @@ func BuildSpec(protocol string, spec Spec, opts Options) (*Scenario, error) {
 	}
 	spec.Traffic.Install(sc)
 	spec.Workload.Install(sc, rand.New(rand.NewSource(opts.Seed+7)))
+	// Fault injection installs last, after the population and workload are
+	// final, so profiles see the complete node lists and their scheduled
+	// events fire before same-timestamp run-time events (a crash at t
+	// lands before that tick's traffic). The fault stream (Seed+13) is
+	// only materialized here — fault-free runs draw nothing extra.
+	if opts.Faults != "" {
+		if _, err := faults.InstallNamed(opts.Faults, world, faults.Context{
+			Seed:     opts.Seed + 13,
+			Duration: opts.Duration,
+			Bounds:   net.Bounds(),
+			Vehicles: sc.Vehicles,
+			RSUs:     sc.RSUs,
+		}); err != nil {
+			return nil, err
+		}
+	}
 	return sc, nil
 }

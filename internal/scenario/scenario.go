@@ -163,6 +163,12 @@ type Options struct {
 	// unlike Seed — Shards is not part of the scenario's identity and
 	// does not appear in its name.
 	Shards int
+	// Faults installs the named chaos profile from the fault-plane
+	// registry (see faults.Names): a deterministic, seeded schedule of
+	// crashes, blackouts, jamming, beacon suppression, or partitions.
+	// Empty means no fault injection; fault-free runs draw nothing from
+	// the fault stream and stay byte-identical to pre-fault-plane runs.
+	Faults string
 }
 
 func (o *Options) setDefaults() {

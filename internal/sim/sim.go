@@ -7,6 +7,7 @@ package sim
 import (
 	"errors"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/vanetlab/relroute/internal/eventq"
 )
@@ -14,6 +15,10 @@ import (
 // ErrStopped is returned by Run when the engine was halted by Stop before
 // reaching the requested end time.
 var ErrStopped = errors.New("sim: engine stopped")
+
+// ErrInterrupted is returned by Run when the engine was aborted by
+// Interrupt — typically a per-run deadline firing on another goroutine.
+var ErrInterrupted = errors.New("sim: engine interrupted")
 
 // TimerID identifies a scheduled callback so it can be cancelled.
 type TimerID = eventq.ID
@@ -27,6 +32,11 @@ type Engine struct {
 	root    *rand.Rand
 	stopped bool
 	events  uint64
+	// interrupted is the only cross-goroutine signal into the engine: a
+	// watchdog (the runner's per-run timeout) may flip it while Run is
+	// executing events on another goroutine. It is sticky — once set, Run
+	// returns ErrInterrupted at the next check and never resumes.
+	interrupted atomic.Bool
 }
 
 // NewEngine returns an engine whose random streams derive from seed.
@@ -82,14 +92,25 @@ func (e *Engine) Cancel(id TimerID) bool { return e.q.Cancel(id) }
 // Stop halts Run after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Interrupt aborts Run from any goroutine: the loop notices the flag
+// within a bounded number of events and returns ErrInterrupted. Unlike
+// Stop it is sticky, so a deadline that fires between runs still aborts
+// the next Run call.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
 // Run executes events in time order until the clock reaches until (events
 // scheduled exactly at until still fire) or the queue drains. It returns
-// ErrStopped if Stop was called.
+// ErrStopped if Stop was called and ErrInterrupted if Interrupt was.
 func (e *Engine) Run(until float64) error {
 	e.stopped = false
 	for {
 		if e.stopped {
 			return ErrStopped
+		}
+		// The atomic load is amortized across 64 events so the hot loop
+		// stays branch-cheap; an interrupt lands within one batch.
+		if e.events&63 == 0 && e.interrupted.Load() {
+			return ErrInterrupted
 		}
 		at, ok := e.q.PeekTime()
 		if !ok || at > until {

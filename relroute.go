@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"github.com/vanetlab/relroute/internal/core"
+	"github.com/vanetlab/relroute/internal/faults"
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/harness"
 	"github.com/vanetlab/relroute/internal/link"
@@ -125,6 +126,35 @@ const LinkAuditHorizon = harness.LinkAccuracyHorizon
 // ScenarioDescriptions maps each named scenario to its one-line
 // description, for listings.
 func ScenarioDescriptions() map[string]string { return scenario.Descriptions() }
+
+// FaultProfiles lists the fault plane's registered chaos profiles,
+// accepted by Options.Faults: deterministic, seeded failure schedules
+// like "rsu-blackout" (every RSU dies at half-time), "rolling-crashes"
+// (vehicles crash and recover in sequence), "jammed-corridor" (a lossy
+// geometric region), "partition" (a hard roadnet cut), and
+// "energy-depletion" (relays dying one by one).
+func FaultProfiles() []string { return faults.Names() }
+
+// FaultProfileDescriptions maps each fault profile to its one-line
+// description, for listings.
+func FaultProfileDescriptions() map[string]string { return faults.Descriptions() }
+
+// ChaosCell is one (fault profile, protocol) cell of the chaos
+// experiment: whole-run and fault-window PDR plus the recovery metrics.
+type ChaosCell = harness.ChaosCell
+
+// Chaos runs the fault-profile × protocol degradation grid and returns
+// its cells (the structured form of the "chaos" experiment, used by
+// vanetbench's chaos subcommand).
+func Chaos(cfg ExperimentConfig) ([]ChaosCell, error) {
+	return harness.ChaosData(cfg)
+}
+
+// ChaosTable renders chaos cells as the experiment's table — the same
+// renderer RunExperiment("chaos") uses.
+func ChaosTable(cells []ChaosCell) *Table {
+	return harness.ChaosTable(cells)
+}
 
 // Track is one vehicle's recorded trajectory, replayable through
 // Options.Tracks (or from a SUMO FCD file via Options.TracePath). The

@@ -59,7 +59,7 @@ func TestRunExperimentFig1(t *testing.T) {
 }
 
 func TestExperimentsListed(t *testing.T) {
-	if got := len(relroute.Experiments()); got != 17 {
+	if got := len(relroute.Experiments()); got != 18 {
 		t.Fatalf("experiments = %d", got)
 	}
 }

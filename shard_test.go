@@ -24,7 +24,7 @@ func TestGoldenOutputsSharded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden experiments are full simulations; skipped in -short")
 	}
-	for _, id := range []string{"fig2", "abl-storm", "table1"} {
+	for _, id := range []string{"fig2", "abl-storm", "table1", "abl-disaster", "chaos"} {
 		for _, workers := range []int{1, 8} {
 			name := fmt.Sprintf("%s/w%d/s4", id, workers)
 			t.Run(name, func(t *testing.T) {
@@ -54,7 +54,7 @@ func TestGoldenOutputsSharded(t *testing.T) {
 // run: each experiment's table at Shards=4 must be byte-identical to
 // Shards=1 at both one worker and eight.
 func TestShardInvariance(t *testing.T) {
-	for _, id := range []string{"churn", "trace-replay", "link-accuracy"} {
+	for _, id := range []string{"churn", "trace-replay", "link-accuracy", "chaos"} {
 		t.Run(id, func(t *testing.T) {
 			var want string
 			for _, workers := range []int{1, 8} {
