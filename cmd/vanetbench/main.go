@@ -41,19 +41,42 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/vanetlab/relroute"
 )
+
+// interruptContext returns a context cancelled by the first
+// SIGINT/SIGTERM — in-flight simulations are interrupted at their next
+// event boundary and journaled work is flushed — while a second signal
+// hard-exits.
+func interruptContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "vanetbench: interrupt — stopping in-flight runs (interrupt again to hard-exit)")
+		cancel()
+		<-sigs
+		os.Exit(130)
+	}()
+	return ctx, cancel
+}
 
 // profileFlags registers -cpuprofile/-memprofile on fs and returns a
 // start function whose returned stop function must run before exit.
@@ -120,12 +143,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vanetbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment ID or \"all\"")
-		list     = fs.Bool("list", false, "list experiments and exit")
-		seed     = fs.Int64("seed", 1, "random seed")
-		quick    = fs.Bool("quick", false, "reduced populations and durations")
-		parallel = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
-		shards   = fs.Int("shards", 1, "intra-run worker shards per simulation (output is identical for any value)")
+		exp       = fs.String("exp", "all", "experiment ID or \"all\"")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		seed      = fs.Int64("seed", 1, "random seed")
+		quick     = fs.Bool("quick", false, "reduced populations and durations")
+		parallel  = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		shards    = fs.Int("shards", 1, "intra-run worker shards per simulation (output is identical for any value)")
+		manifest  = fs.String("manifest", "", "durable campaign manifest directory: completed runs are journaled there, and an interrupted invocation re-run with the same -manifest resumes instead of re-executing them")
+		ckptDir   = fs.String("checkpoint-dir", "", "auto-checkpoint every simulation into this directory (post-mortem snapshots for failed runs)")
+		ckptEvery = fs.Float64("checkpoint-every", 0, "simulated seconds between checkpoint boundaries (0 = default)")
 	)
 	startProfiles := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -146,11 +172,23 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards}
+	ctx, cancel := interruptContext()
+	defer cancel()
+	cfg := relroute.ExperimentConfig{
+		Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards,
+		Context: ctx, ManifestDir: *manifest,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
+	}
+	resumable := func(err error) error {
+		if (errors.Is(err, relroute.ErrInterrupted) || errors.Is(err, context.Canceled)) && *manifest != "" {
+			fmt.Fprintf(os.Stderr, "vanetbench: interrupted; completed runs are journaled — re-run with -manifest %s to resume\n", *manifest)
+		}
+		return err
+	}
 	if *exp != "all" {
 		tab, err := relroute.RunExperiment(*exp, cfg)
 		if err != nil {
-			return err
+			return resumable(err)
 		}
 		tab.Render(os.Stdout)
 		return nil
@@ -158,7 +196,7 @@ func run(args []string) error {
 	for _, e := range relroute.Experiments() {
 		tab, err := e.Run(cfg)
 		if err != nil {
-			return fmt.Errorf("experiment %s: %w", e.ID, err)
+			return resumable(fmt.Errorf("experiment %s: %w", e.ID, err))
 		}
 		tab.Render(os.Stdout)
 	}
@@ -179,6 +217,7 @@ func runSweep(args []string) error {
 		length    = fs.Float64("length", 2000, "highway length in meters")
 		speed     = fs.Float64("speed", 30, "mean vehicle speed in m/s")
 		parallel  = fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		manifest  = fs.String("manifest", "", "durable campaign manifest directory; re-running an interrupted sweep with the same -manifest resumes it")
 	)
 	startProfiles := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -230,7 +269,26 @@ func runSweep(args []string) error {
 		}
 		camp.AddSpec(relroute.BatchSpec{Protocols: []string{proto}, Grid: grid, Seeds: seedList})
 	}
-	results := relroute.RunBatch(camp, *parallel)
+	ctx, cancel := interruptContext()
+	defer cancel()
+	pool := relroute.BatchPool{Workers: *parallel}
+	var results []relroute.BatchResult
+	if *manifest != "" {
+		if err := os.MkdirAll(*manifest, 0o755); err != nil {
+			return fmt.Errorf("sweep: manifest: %w", err)
+		}
+		path := filepath.Join(*manifest, fmt.Sprintf("campaign-%016x.jsonl", relroute.CampaignFingerprint(camp)))
+		j, err := relroute.OpenCampaignJournal(path, camp)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		results = pool.ExecuteResumable(ctx, camp, j)
+		if err := j.Close(); err != nil {
+			return fmt.Errorf("sweep: manifest: %w", err)
+		}
+	} else {
+		results = pool.ExecuteContext(ctx, camp)
+	}
 
 	tab := &relroute.Table{
 		ID:    "sweep",
@@ -242,6 +300,9 @@ func runSweep(args []string) error {
 	for _, block := range relroute.Replications(results, *seeds) {
 		sums, err := relroute.Summaries(block)
 		if err != nil {
+			if ctx.Err() != nil && *manifest != "" {
+				fmt.Fprintf(os.Stderr, "vanetbench: interrupted; completed runs are journaled — re-run with -manifest %s to resume\n", *manifest)
+			}
 			return fmt.Errorf("sweep: %w", err)
 		}
 		agg := relroute.AggregateSummaries(sums)
@@ -473,7 +534,9 @@ func runLinkAcc(args []string) error {
 			fmt.Fprintln(os.Stderr, "vanetbench:", perr)
 		}
 	}()
-	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards}
+	ctx, cancel := interruptContext()
+	defer cancel()
+	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards, Context: ctx}
 	cells, err := relroute.LinkAccuracy(cfg)
 	if err != nil {
 		return fmt.Errorf("linkacc: %w", err)
@@ -527,7 +590,9 @@ func runChaos(args []string) error {
 			fmt.Fprintln(os.Stderr, "vanetbench:", perr)
 		}
 	}()
-	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards}
+	ctx, cancel := interruptContext()
+	defer cancel()
+	cfg := relroute.ExperimentConfig{Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards, Context: ctx}
 	cells, err := relroute.Chaos(cfg)
 	if err != nil {
 		return fmt.Errorf("chaos: %w", err)

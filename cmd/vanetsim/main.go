@@ -9,12 +9,26 @@
 //	vanetsim -proto Greedy -scenario city-rush        # named scenario preset
 //	vanetsim -list
 //	vanetsim -list-scenarios
+//
+// Crash safety: -checkpoint snapshots the run periodically, -stop-at
+// stops it early with a final snapshot, and -resume continues from a
+// snapshot — byte-identical to the uninterrupted run, at any -shards
+// value. A first Ctrl-C interrupts the run gracefully (leaving the last
+// boundary snapshot resumable); a second hard-exits.
+//
+//	vanetsim -proto TBP-SS -checkpoint run.ckpt -checkpoint-every 10
+//	vanetsim -proto TBP-SS -checkpoint run.ckpt -stop-at 30
+//	vanetsim -resume run.ckpt -checkpoint run.ckpt
+//	vanetsim -resume run.ckpt -shards 4               # restore sharded
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/vanetlab/relroute"
 )
@@ -55,6 +69,10 @@ func run(args []string) error {
 		faults    = fs.String("faults", "", "chaos profile injecting failures (see -list-faults; empty = none)")
 		listFault = fs.Bool("list-faults", false, "list fault profiles and exit")
 		shards    = fs.Int("shards", 1, "intra-run worker shards for the step loop (output is identical for any value)")
+		ckptPath  = fs.String("checkpoint", "", "snapshot the run to this file at every checkpoint boundary")
+		ckptEvery = fs.Float64("checkpoint-every", 10, "simulated seconds between checkpoint boundaries")
+		stopAt    = fs.Float64("stop-at", 0, "stop at this simulated time after writing a final checkpoint (0 = run to the end)")
+		resume    = fs.String("resume", "", "resume from this checkpoint file instead of starting a new run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,9 +116,71 @@ func run(args []string) error {
 	if *city {
 		opts.Kind = relroute.CityKind
 	}
-	sum, err := relroute.Run(*proto, opts)
+	if *stopAt > 0 && *ckptPath == "" {
+		return fmt.Errorf("-stop-at needs -checkpoint (there is nowhere to write the final snapshot)")
+	}
+
+	var sc *relroute.Scenario
+	if *resume != "" {
+		snap, err := relroute.ReadCheckpoint(*resume)
+		if err != nil {
+			return err
+		}
+		// The run's identity comes from the snapshot; -shards is the one
+		// flag that still applies, because shard count is not part of it.
+		shardsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				shardsSet = true
+			}
+		})
+		if shardsSet {
+			snap.Opts.Shards = *shards
+		}
+		fmt.Fprintf(os.Stderr, "vanetsim: resuming %s/%s from t=%.2fs of %.2fs\n",
+			snap.Protocol, snap.Name, snap.T, snap.Duration)
+		if sc, err = relroute.RestoreCheckpoint(snap); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if sc, err = relroute.BuildScenario(*proto, opts); err != nil {
+			return err
+		}
+	}
+
+	// First Ctrl-C interrupts the engine at the next event boundary — the
+	// run unwinds cleanly and the last checkpoint stays resumable. A
+	// second Ctrl-C hard-exits.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "vanetsim: interrupt — stopping at the next event boundary (interrupt again to hard-exit)")
+		sc.World.Engine().Interrupt()
+		<-sigs
+		os.Exit(130)
+	}()
+
+	sum, done, err := relroute.RunCheckpointed(sc, relroute.CheckpointPolicy{
+		Path:   *ckptPath,
+		Every:  *ckptEvery,
+		StopAt: *stopAt,
+	})
 	if err != nil {
+		if errors.Is(err, relroute.ErrInterrupted) && *ckptPath != "" {
+			if snap, rerr := relroute.ReadCheckpoint(*ckptPath); rerr == nil {
+				fmt.Fprintf(os.Stderr, "vanetsim: interrupted; last checkpoint at t=%.2fs of %.2fs — resumable with -resume %s\n",
+					snap.T, snap.Duration, *ckptPath)
+			}
+		}
 		return err
+	}
+	if !done {
+		fmt.Fprintf(os.Stderr, "vanetsim: stopped at t=%.2fs as requested; resume with -resume %s\n",
+			*stopAt, *ckptPath)
+		return nil
 	}
 	fmt.Printf("protocol   %s\n", sum.Protocol)
 	fmt.Printf("scenario   %s\n", sum.Scenario)

@@ -1,0 +1,111 @@
+// Package digest computes deterministic fingerprints of simulation state.
+//
+// The checkpoint plane's restore contract is "re-derive, then verify": a
+// snapshot stores a compact digest of every subsystem's live state instead
+// of a serialized object graph, and a restored process proves it reached
+// the exact same state by recomputing the digest after fast-forwarding.
+// For that to work the digest must be a pure function of logical state —
+// independent of process, pointer values, map iteration order, shard
+// count, and worker count. Every DigestInto implementation in the
+// repository therefore walks its state in a canonical order (node ID,
+// vehicle ID, sorted map keys, heap layout) and feeds only semantic
+// fields through the typed writers below.
+//
+// The hash is FNV-1a 64: stable across Go versions (unlike hash/maphash),
+// dependency-free, and cheap enough that digesting a 1,000-vehicle world
+// costs well under a millisecond. Digests are computed only at checkpoint
+// boundaries, never on the event hot path.
+package digest
+
+import "math"
+
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Writer accumulates an FNV-1a 64 digest. The zero value is NOT ready;
+// use New. Writers are plain values — copy one to fork a sub-digest.
+type Writer struct {
+	sum uint64
+}
+
+// New returns a writer seeded with the FNV offset basis.
+func New() *Writer {
+	return &Writer{sum: offset64}
+}
+
+// Sum returns the current digest value.
+func (w *Writer) Sum() uint64 { return w.sum }
+
+// U64 folds one uint64 into the digest, byte by byte (little-endian).
+func (w *Writer) U64(v uint64) {
+	s := w.sum
+	for i := 0; i < 8; i++ {
+		s ^= v & 0xff
+		s *= prime64
+		v >>= 8
+	}
+	w.sum = s
+}
+
+// I64 folds one int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int folds one int.
+func (w *Writer) Int(v int) { w.U64(uint64(int64(v))) }
+
+// U32 folds one uint32.
+func (w *Writer) U32(v uint32) { w.U64(uint64(v)) }
+
+// Bool folds one bool.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U64(1)
+	} else {
+		w.U64(0)
+	}
+}
+
+// F64 folds one float64 by its IEEE-754 bit pattern, so the digest
+// distinguishes every representable value (including -0 from +0 and every
+// NaN payload the simulation could deterministically produce).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Str folds a string, length-prefixed so concatenations can't collide.
+func (w *Writer) Str(v string) {
+	w.U64(uint64(len(v)))
+	s := w.sum
+	for i := 0; i < len(v); i++ {
+		s ^= uint64(v[i])
+		s *= prime64
+	}
+	w.sum = s
+}
+
+// Mix hashes one uint64 to a well-distributed value. It exists for
+// order-independent folds over sets (XOR of Mix over the elements):
+// XORing raw values would cancel structured IDs, Mix makes collisions
+// as unlikely as the hash width allows. The function is FNV-1a over the
+// value's little-endian bytes, so it is as stable as the rest of the
+// package.
+func Mix(v uint64) uint64 {
+	s := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		s ^= v & 0xff
+		s *= prime64
+		v >>= 8
+	}
+	return s
+}
+
+// Sum64 is the one-shot convenience for hashing a byte slice (the
+// checkpoint file format uses it to checksum its payload).
+func Sum64(b []byte) uint64 {
+	s := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		s ^= uint64(b[i])
+		s *= prime64
+	}
+	return s
+}

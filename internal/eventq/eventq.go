@@ -10,6 +10,8 @@
 // handle. After warm-up, Schedule, Pop, and Cancel do not allocate.
 package eventq
 
+import "github.com/vanetlab/relroute/internal/digest"
+
 // ID identifies a scheduled event so it can be cancelled. The zero ID is
 // never issued. An ID packs the slot index (high 32 bits) and the slot's
 // generation at scheduling time (low 32 bits); generations start at 1 and
@@ -124,6 +126,32 @@ func (q *Queue) Pop() (at float64, fn func(), ok bool) {
 	q.free = append(q.free, idx)
 	q.live--
 	return at, fn, true
+}
+
+// DigestInto folds the queue's logical state into d for checkpoint
+// verification: the global sequence counter, the live count, and every
+// heap entry — pending time, scheduling sequence, slot index, and the
+// slot's generation and cancellation flag — in heap-array order.
+//
+// The heap's array layout (and the slab's slot/generation assignment) is
+// a deterministic function of the Schedule/Cancel/Pop history, so two
+// processes that executed the same event sequence digest identically;
+// the callbacks themselves are intentionally excluded — closures are
+// process-local and are re-derived on restore by rebuilding the scenario
+// and replaying to the checkpoint time.
+func (q *Queue) DigestInto(d *digest.Writer) {
+	d.U64(q.seq)
+	d.Int(q.live)
+	d.Int(len(q.slots))
+	d.Int(len(q.heap))
+	for _, e := range q.heap {
+		d.F64(e.at)
+		d.U64(e.seq)
+		d.U32(uint32(e.slot))
+		s := &q.slots[e.slot]
+		d.U32(s.gen)
+		d.Bool(s.cancelled)
+	}
 }
 
 // drainCancelled lazily discards cancelled events sitting at the head.

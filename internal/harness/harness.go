@@ -6,8 +6,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -32,6 +35,23 @@ type Config struct {
 	// axis next to Workers — tables are byte-identical for any fixed
 	// value of either. Zero or one means sequential worlds.
 	Shards int
+	// Context, when non-nil, cancels in-flight simulation work: pending
+	// runs fail fast and running engines are interrupted at their next
+	// event boundary (the CLI's Ctrl-C path).
+	Context context.Context
+	// ManifestDir, when non-empty, makes every submitted campaign durable:
+	// completed runs are journaled to
+	// <dir>/campaign-<fingerprint>.jsonl, and re-running the same
+	// experiment against the same directory resumes — finished runs are
+	// reused from the journal, byte-identical, instead of re-executed.
+	// The fingerprint keys the file, so experiments that submit several
+	// campaigns get one journal each.
+	ManifestDir string
+	// CheckpointDir, when non-empty, auto-checkpoints every run there
+	// (see runner.Pool.CheckpointDir); CheckpointEvery is the boundary
+	// spacing in simulated seconds (0 means the default).
+	CheckpointDir   string
+	CheckpointEvery float64
 }
 
 func (c Config) seed() int64 {
@@ -42,9 +62,46 @@ func (c Config) seed() int64 {
 }
 
 // submit executes a campaign on the config's worker pool and unwraps the
-// summaries in submission order.
+// summaries in submission order, threading through the config's
+// cancellation context, checkpoint policy, and campaign manifest.
 func (c Config) submit(camp runner.Campaign) ([]metrics.Summary, error) {
-	return runner.Summaries(runner.Execute(c.stampShards(camp), c.Workers))
+	results, err := c.submitResults(camp)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Summaries(results)
+}
+
+// submitResults is submit for experiments that need the full results —
+// the single execution path every experiment goes through, so the
+// config's context, checkpoint, and manifest plumbing apply uniformly.
+func (c Config) submitResults(camp runner.Campaign) ([]runner.Result, error) {
+	camp = c.stampShards(camp)
+	pool := runner.Pool{
+		Workers:         c.Workers,
+		CheckpointDir:   c.CheckpointDir,
+		CheckpointEvery: c.CheckpointEvery,
+	}
+	ctx := c.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.ManifestDir == "" {
+		return pool.ExecuteContext(ctx, camp), nil
+	}
+	if err := os.MkdirAll(c.ManifestDir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: campaign manifest: %w", err)
+	}
+	path := filepath.Join(c.ManifestDir, fmt.Sprintf("campaign-%016x.jsonl", runner.CampaignHash(camp)))
+	j, err := runner.OpenJournal(path, camp)
+	if err != nil {
+		return nil, err
+	}
+	results := pool.ExecuteResumable(ctx, camp, j)
+	if err := j.Close(); err != nil {
+		return nil, fmt.Errorf("harness: campaign manifest: %w", err)
+	}
+	return results, nil
 }
 
 // stampShards propagates the config's intra-run shard count onto every

@@ -103,7 +103,10 @@ func LinkAccuracyData(cfg Config) ([]LinkAccCell, error) {
 			})
 		}
 	}
-	results := runner.Execute(cfg.stampShards(camp), cfg.Workers)
+	results, err := cfg.submitResults(camp)
+	if err != nil {
+		return nil, err
+	}
 	for i, res := range results {
 		if res.Err != nil {
 			return nil, fmt.Errorf("link-accuracy %s/%s: %w", cells[i].Estimator, cells[i].Scenario, res.Err)

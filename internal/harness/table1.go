@@ -90,7 +90,10 @@ func Table1Summary(cfg Config) (*Table, error) {
 			camp.Add(runner.Run{Protocol: rep.protocol, Opts: opts})
 		}
 	}
-	results := runner.Execute(cfg.stampShards(camp), cfg.Workers)
+	results, err := cfg.submitResults(camp)
+	if err != nil {
+		return nil, err
+	}
 	for i, res := range results {
 		if res.Err != nil {
 			return nil, fmt.Errorf("table1 %s/%s: %w", camp.Runs[i].Protocol, cells[i].regime, res.Err)

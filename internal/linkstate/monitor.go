@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/vanetlab/relroute/internal/digest"
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/link"
 )
@@ -235,6 +236,43 @@ func (m *Monitor) kinematic(e *LinkState, obs Observer) float64 {
 	e.lifeBeacons = e.Beacons
 	e.lifeVal = v
 	return v
+}
+
+// DigestInto folds the monitor's checkpoint-relevant state into d: every
+// live entry's observed evidence in sorted ID order, plus the expiry
+// lower bound and the instrumentation counters (all deterministic
+// functions of the event history). The kinematic-lifetime memo fields
+// are a pure cache keyed on shard-invariant inputs and re-derived on
+// first read after restore, so they are excluded — like the radio cache.
+func (m *Monitor) DigestInto(d *digest.Writer) {
+	d.Int(len(m.entries))
+	ids := make([]NodeID, 0, len(m.entries))
+	for id := range m.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := m.entries[id]
+		d.U32(uint32(e.ID))
+		d.Int(int(e.Kind))
+		d.F64(e.Pos.X)
+		d.F64(e.Pos.Y)
+		d.F64(e.Vel.X)
+		d.F64(e.Vel.Y)
+		d.F64(e.RSSI)
+		d.F64(e.MeanRSSI)
+		d.F64(e.LastSeen)
+		d.Int(e.Beacons)
+		d.F64(e.FirstSeen)
+		d.F64(e.RSSITrend)
+		d.Int(e.Received)
+		d.Int(e.TxFails)
+		d.F64(e.FeedbackProb)
+	}
+	d.F64(m.oldest)
+	d.U64(m.memoHits)
+	d.U64(m.memoMisses)
+	d.U64(m.fullSweeps)
 }
 
 // Expire removes entries not refreshed since now−ttl and returns their IDs

@@ -23,6 +23,7 @@ package mac
 import (
 	"math/rand"
 
+	"github.com/vanetlab/relroute/internal/digest"
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/radio"
 	"github.com/vanetlab/relroute/internal/sim"
@@ -462,6 +463,47 @@ func (l *Layer) finishTx(from int32) {
 		return
 	}
 	l.scheduleAttempt(st)
+}
+
+// DigestInto folds the MAC's checkpoint-relevant state into d: for every
+// node in ID order, the transmit queue (frame headers — payloads are
+// process-local pointers re-derived on restore), backoff/ARQ counters,
+// and every audible reception in carrier-sense list order. The MAC runs
+// entirely on the single-threaded event path, so all of this is a
+// deterministic function of the event history at any shard count.
+func (l *Layer) DigestInto(d *digest.Writer) {
+	digestFrame := func(f *Frame) {
+		d.U32(uint32(f.From))
+		d.U32(uint32(f.To))
+		d.Int(f.Size)
+		d.Int(f.attempts)
+	}
+	d.Int(len(l.nodes))
+	for id, st := range l.nodes {
+		if st == nil {
+			d.Bool(false)
+			continue
+		}
+		d.Bool(true)
+		d.Int(id)
+		d.Int(st.queue.len())
+		for i := 0; i < st.queue.n; i++ {
+			digestFrame(&st.queue.buf[(st.queue.head+i)%len(st.queue.buf)])
+		}
+		d.Bool(st.sending)
+		d.F64(st.txUntil)
+		d.Int(st.retries)
+		d.Int(len(st.active))
+		for _, r := range st.active {
+			d.F64(r.end)
+			d.Bool(r.decoded)
+			d.Bool(r.collided)
+		}
+		digestFrame(&st.txFrame)
+		d.Int(len(st.txRecs))
+		d.Bool(st.txUnicastRec != nil)
+		d.Bool(st.txUnicastOK)
+	}
 }
 
 // resolveReception settles one reception at its end time: remove it from

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/vanetlab/relroute/internal/digest"
 )
 
 // Collector accumulates counters for one simulation run. It is not safe
@@ -391,6 +393,77 @@ func (c *Collector) Summarize(protocol, scenario string) Summary {
 		RecoveryLatency: c.MeanRecoveryLatency(),
 		Control:         ctl,
 	}
+}
+
+// DigestInto folds the collector's full accumulated state into d: every
+// counter, the per-type control map in sorted key order, the sample
+// slices in append order (append order is event order, deterministic),
+// and the delivered-UID set as a size plus an order-independent fold
+// (XOR of per-element hashes — map iteration order never reaches the
+// digest).
+func (c *Collector) DigestInto(d *digest.Writer) {
+	d.Int(c.DataSent)
+	d.Int(c.DataDelivered)
+	d.Int(c.DataDuplicate)
+	d.Int(c.DataDropped)
+	d.Int(c.DataForwarded)
+	keys := make([]string, 0, len(c.Control))
+	for k := range c.Control {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	d.Int(len(keys))
+	for _, k := range keys {
+		d.Str(k)
+		d.Int(c.Control[k])
+	}
+	d.Int(c.ControlBytes)
+	d.Int(c.DataBytes)
+	d.Int(c.MACTransmits)
+	d.Int(c.MACDelivered)
+	d.Int(c.MACCollisions)
+	d.Int(c.MACChannelLoss)
+	d.Int(c.RouteDiscoveries)
+	d.Int(c.RouteBreaks)
+	d.Int(c.RouteRepairs)
+	d.Int(c.NodeJoins)
+	d.Int(c.NodeLeaves)
+	d.Int(c.FaultCrashes)
+	d.Int(c.FaultRecoveries)
+	d.Int(c.DataSentFault)
+	d.Int(c.DataDeliveredFault)
+	d.Int(c.ControlFault)
+	d.F64(c.FaultTime)
+	d.F64(c.RunTime)
+	digestF64s := func(xs []float64) {
+		d.Int(len(xs))
+		for _, x := range xs {
+			d.F64(x)
+		}
+	}
+	digestF64s(c.rerouteLats)
+	digestF64s(c.recoveryLats)
+	d.Int(c.LinkSamples)
+	d.Int(c.LinkCensored)
+	d.F64(c.linkAbsErr)
+	d.F64(c.linkSgnErr)
+	for _, b := range c.linkBuckets {
+		d.Int(b.N)
+		d.F64(b.PredSum)
+		d.F64(b.ObsSum)
+	}
+	digestF64s(c.delays)
+	d.Int(len(c.hops))
+	for _, h := range c.hops {
+		d.Int(h)
+	}
+	digestF64s(c.pathLives)
+	d.Int(len(c.deliveredByUID))
+	var fold uint64
+	for uid := range c.deliveredByUID {
+		fold ^= digest.Mix(uid)
+	}
+	d.U64(fold)
 }
 
 // String renders a one-line human summary.

@@ -11,12 +11,15 @@
 package mobility
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"slices"
 
+	"github.com/vanetlab/relroute/internal/digest"
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/par"
+	"github.com/vanetlab/relroute/internal/prng"
 	"github.com/vanetlab/relroute/internal/roadnet"
 )
 
@@ -124,6 +127,7 @@ type vehicle struct {
 	route   []roadnet.SegmentID // pending segments after the current one
 	rngSeed int64               // drawn at AddVehicle; see random
 	rng     *rand.Rand          // materialized on first draw
+	rngSrc  *prng.Source        // counting source behind rng; nil until materialized
 	// lane-change hysteresis: no second change for a short period
 	laneCooldown float64
 	// orderIdx is this vehicle's position in its (segment, lane) ordered
@@ -141,7 +145,7 @@ type vehicle struct {
 // whichever shard owns the vehicle instead of on the serial spawn path.
 func (v *vehicle) random() *rand.Rand {
 	if v.rng == nil {
-		v.rng = rand.New(rand.NewSource(v.rngSeed))
+		v.rng, v.rngSrc = prng.Rand(v.rngSeed)
 	}
 	return v.rng
 }
@@ -163,6 +167,11 @@ type RoadModel struct {
 	maxLanes int
 	// shardStart is StatesIntoShards' reused output-offset scratch.
 	shardStart []int
+	// rngSrc is the counting source behind rng when the model was built
+	// through NewRoadModelSeeded; nil for an externally supplied rng. The
+	// model draws from it at runtime (one seed per spawned vehicle), so
+	// the checkpoint stream table must cover it.
+	rngSrc *prng.Source
 }
 
 // ExitPolicy decides what happens when a vehicle reaches the end of its
@@ -192,6 +201,18 @@ func NewRoadModel(net *roadnet.Network, rng *rand.Rand, exit ExitPolicy) *RoadMo
 		order:    make([][]*vehicle, net.Segments()*maxLanes),
 		maxLanes: maxLanes,
 	}
+}
+
+// NewRoadModelSeeded is NewRoadModel with the model's private RNG built
+// from seed over a counting source, so checkpoints can record and verify
+// its draw position. Scenario builders should prefer it; the draw
+// sequence is identical to NewRoadModel(net, rand.New(rand.NewSource(
+// seed)), exit).
+func NewRoadModelSeeded(net *roadnet.Network, seed int64, exit ExitPolicy) *RoadModel {
+	r, src := prng.Rand(seed)
+	m := NewRoadModel(net, r, exit)
+	m.rngSrc = src
+	return m
 }
 
 // laneList returns the ordered vehicle list of one (segment, lane).
@@ -646,6 +667,65 @@ func (m *RoadModel) StatesIntoShards(dst []State, pool *par.Pool) []State {
 			out++
 		}
 	})
+	return dst
+}
+
+// DigestInto folds the model's checkpoint-relevant state into d: the
+// mobility clock and, for every vehicle slot in ID order, the full
+// kinematic record plus the private RNG stream position. Despawned slots
+// digest as a tombstone so "vehicle 7 left" and "vehicle 7 never existed"
+// cannot collide. orderIdx and the order lists are per-tick scratch
+// rebuilt from this state, so they are intentionally excluded.
+func (m *RoadModel) DigestInto(d *digest.Writer) {
+	d.F64(m.now)
+	if m.rngSrc != nil {
+		d.Bool(true)
+		d.I64(m.rngSrc.SeedValue())
+		d.U64(m.rngSrc.Draws())
+	} else {
+		d.Bool(false)
+	}
+	d.Int(len(m.vs))
+	for _, v := range m.vs {
+		if v == nil {
+			d.Bool(false)
+			continue
+		}
+		d.Bool(true)
+		d.U32(uint32(v.id))
+		d.Int(int(v.class))
+		d.U32(uint32(v.seg))
+		d.Int(v.lane)
+		d.F64(v.offset)
+		d.F64(v.speed)
+		d.F64(v.accel)
+		d.F64(v.laneCooldown)
+		d.Int(len(v.route))
+		for _, s := range v.route {
+			d.U32(uint32(s))
+		}
+		d.I64(v.rngSeed)
+		if v.rngSrc != nil {
+			d.U64(v.rngSrc.Draws())
+		} else {
+			d.U64(0)
+		}
+	}
+}
+
+// AppendStreamStates appends the (seed, draw position) of every
+// materialized per-vehicle RNG stream to dst. Unmaterialized streams are
+// omitted — a seed with zero draws reproduces itself on demand.
+func (m *RoadModel) AppendStreamStates(dst []prng.State) []prng.State {
+	if m.rngSrc != nil {
+		dst = append(dst, prng.StateOf("mobility/model", m.rngSrc))
+	}
+	for _, v := range m.vs {
+		if v == nil || v.rngSrc == nil {
+			continue
+		}
+		dst = append(dst, prng.StateOf(fmt.Sprintf("mobility/vehicle%d", v.id), v.rngSrc))
+	}
 	return dst
 }
 

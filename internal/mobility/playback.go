@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/vanetlab/relroute/internal/digest"
 	"github.com/vanetlab/relroute/internal/geom"
 )
 
@@ -81,6 +82,14 @@ func (m *PlaybackModel) Advance(dt float64) { m.now += dt }
 
 // Now returns the playback clock.
 func (m *PlaybackModel) Now() float64 { return m.now }
+
+// DigestInto folds the playback state into d. The tracks themselves are
+// immutable input data reproduced by the scenario rebuild, so only the
+// clock and the track count participate.
+func (m *PlaybackModel) DigestInto(d *digest.Writer) {
+	d.F64(m.now)
+	d.Int(len(m.tracks))
+}
 
 // States implements Model.
 func (m *PlaybackModel) States() []State {

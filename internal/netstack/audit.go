@@ -1,6 +1,10 @@
 package netstack
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/vanetlab/relroute/internal/digest"
+)
 
 // Ground-truth link auditing: the world watches true geometry to measure
 // how good the reliability plane's lifetime predictions are. When a node
@@ -130,6 +134,21 @@ func (w *World) auditStep(now float64) {
 			a.open = append(a.open, s)
 		}
 	}
+}
+
+// digestInto folds the audit's open samples into d in slice order (the
+// deterministic open order). idx is derived from open, so only its size
+// participates.
+func (a *linkAudit) digestInto(d *digest.Writer) {
+	d.F64(a.horizon)
+	d.Int(len(a.open))
+	for _, s := range a.open {
+		d.U32(uint32(s.a))
+		d.U32(uint32(s.b))
+		d.F64(s.t0)
+		d.F64(s.pred)
+	}
+	d.Int(len(a.idx))
 }
 
 // finishAudit records samples still open at the end of the run as

@@ -6,12 +6,14 @@ import (
 	"sort"
 
 	"github.com/vanetlab/relroute/internal/channel"
+	"github.com/vanetlab/relroute/internal/digest"
 	"github.com/vanetlab/relroute/internal/geom"
 	"github.com/vanetlab/relroute/internal/linkstate"
 	"github.com/vanetlab/relroute/internal/mac"
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/mobility"
 	"github.com/vanetlab/relroute/internal/par"
+	"github.com/vanetlab/relroute/internal/prng"
 	"github.com/vanetlab/relroute/internal/radio"
 	"github.com/vanetlab/relroute/internal/sim"
 	"github.com/vanetlab/relroute/internal/spatial"
@@ -99,6 +101,7 @@ type node struct {
 	vel     geom.Vec2
 	rngSeed int64              // drawn at addNode; see random
 	rng     *rand.Rand         // materialized on first draw
+	rngSrc  *prng.Source       // counting source behind rng; nil until materialized
 	vehID   mobility.VehicleID // -1 for static nodes
 	active  bool
 	// open-world membership bookkeeping: seenStep is the last mobility step
@@ -154,7 +157,7 @@ type expiredLinks struct {
 // or when this one materializes.
 func (n *node) random() *rand.Rand {
 	if n.rng == nil {
-		n.rng = rand.New(rand.NewSource(n.rngSeed))
+		n.rng, n.rngSrc = prng.Rand(n.rngSeed)
 	}
 	return n.rng
 }
@@ -233,6 +236,30 @@ type World struct {
 	// (payload *beacon included) once the MAC reports the frame done.
 	pktFree   []*Packet
 	helloFree []*Packet
+
+	// checkpoint plane: named RNG streams registered by the scenario layer
+	// (traffic churn, road-model continuation draws) so the snapshot's
+	// stream table covers every generator the run consumes; started tracks
+	// whether StartRun armed the tickers (segmented runs call it once).
+	extStreams []namedStream
+	started    bool
+	poolOwned  bool
+}
+
+// namedStream is one externally owned RNG stream the checkpoint stream
+// table reports.
+type namedStream struct {
+	name string
+	src  *prng.Source
+}
+
+// RegisterStream adds an externally owned counting RNG source to the
+// world's checkpoint stream table. The scenario layer registers the
+// generators it creates outside the engine (road-model continuation
+// draws, open-world churn) so a snapshot can record — and a restore can
+// verify — every stream position the run depends on.
+func (w *World) RegisterStream(name string, src *prng.Source) {
+	w.extStreams = append(w.extStreams, namedStream{name: name, src: src})
 }
 
 // NewWorld builds a world over the given mobility model. Call one of the
@@ -529,8 +556,31 @@ func (w *World) vehicleNode(id mobility.VehicleID) *node {
 	return w.byVeh[id]
 }
 
-// Run executes the simulation for duration seconds.
+// Run executes the simulation for duration seconds. It is equivalent to
+// StartRun, AdvanceTo(duration), CompleteRun, EndRun — the segmented form
+// the checkpoint plane drives so it can snapshot at event-free
+// boundaries; a single Run(d) and any sequence of AdvanceTo calls ending
+// at d execute the identical event sequence.
 func (w *World) Run(duration float64) error {
+	w.StartRun()
+	defer w.EndRun()
+	if err := w.AdvanceTo(duration); err != nil {
+		return err
+	}
+	w.CompleteRun()
+	return nil
+}
+
+// StartRun arms the run's periodic machinery — the mobility tick, per-node
+// beaconing, the location-service refresh, and the intra-run worker pool —
+// without executing any events. Calling it more than once is a no-op, so
+// segmented drivers need no state of their own. Callers that bypass Run
+// must pair it with EndRun to release the worker pool.
+func (w *World) StartRun() {
+	if w.started {
+		return
+	}
+	w.started = true
 	needBeacons := false
 	for _, n := range w.nodes {
 		if n.router.NeedsBeacons() {
@@ -545,11 +595,11 @@ func (w *World) Run(duration float64) error {
 	}
 	// intra-run worker pool: created here (not NewWorld) so worlds that
 	// are built but never run own no goroutines, and torn down when the
-	// run ends. The workers block between phases — no spinning — so
-	// Shards > core count degrades to sequential speed, not livelock.
+	// run ends (EndRun). The workers block between phases — no spinning —
+	// so Shards > core count degrades to sequential speed, not livelock.
 	if s := w.cfg.shards(); s > 1 {
 		w.pool = par.New(s)
-		defer func() { w.pool.Close(); w.pool = par.Seq }()
+		w.poolOwned = true
 		w.shards = make([]stepShard, s)
 		if needBeacons {
 			// prewarm the per-node RNG streams across the shards: seeds
@@ -581,11 +631,31 @@ func (w *World) Run(duration float64) error {
 		staleness = 1.0
 	}
 	w.eng.Ticker(0, staleness, 0, nil, w.refreshLocations)
-	if err := w.eng.Run(duration); err != nil {
+}
+
+// AdvanceTo runs the engine until the simulation clock reaches t (events
+// at exactly t still fire). Repeated calls with increasing t execute the
+// identical event sequence as one call with the final t — the property
+// that makes checkpoint boundaries unobservable. StartRun must have run.
+func (w *World) AdvanceTo(t float64) error {
+	if err := w.eng.Run(t); err != nil {
 		return fmt.Errorf("netstack: run: %w", err)
 	}
-	w.finishAudit()
 	return nil
+}
+
+// CompleteRun finalizes end-of-run accounting (censoring the link audit's
+// still-open samples). Call once, after the final AdvanceTo.
+func (w *World) CompleteRun() { w.finishAudit() }
+
+// EndRun tears down the intra-run worker pool. Idempotent; safe to call
+// whether or not the run completed.
+func (w *World) EndRun() {
+	if w.poolOwned {
+		w.pool.Close()
+		w.pool = par.Seq
+		w.poolOwned = false
+	}
 }
 
 // step advances mobility and refreshes node kinematics and the spatial
@@ -756,6 +826,123 @@ func (w *World) step(dt float64) {
 		}
 		w.links.RebuildAll(pool, w.activeIDs)
 	}
+}
+
+// Digester is implemented by subsystems that can fold their logical state
+// into a checkpoint digest. Mobility models implement it optionally; the
+// world skips models that don't.
+type Digester interface {
+	DigestInto(d *digest.Writer)
+}
+
+// streamSource is implemented by subsystems that own serializable RNG
+// streams (the road mobility model's per-vehicle streams).
+type streamSource interface {
+	AppendStreamStates(dst []prng.State) []prng.State
+}
+
+// DigestInto folds the world's complete checkpoint-relevant state into d,
+// layer by layer in a fixed order: engine (clock, event queue, stream
+// positions), spatial grid, mobility model, MAC, every node (kinematics,
+// membership flags, RNG position, link-state monitor) in ID order, the
+// membership and location-service planes, the metrics collector, the link
+// audit, and every registered external stream.
+//
+// Excluded by design: the radio cache (pure memoization, shard-variant
+// population), the worker pool and its shard buffers, the packet free
+// lists, and stateBuf — all process-local scratch that a restored world
+// re-derives. The result is identical across processes, worker counts,
+// and shard counts for the same event history.
+func (w *World) DigestInto(d *digest.Writer) {
+	w.eng.DigestInto(d)
+	w.grid.DigestInto(d)
+	if dg, ok := w.model.(Digester); ok {
+		d.Bool(true)
+		dg.DigestInto(d)
+	} else {
+		d.Bool(false)
+	}
+	w.mac.DigestInto(d)
+	d.Int(len(w.nodes))
+	for _, n := range w.nodes {
+		d.U32(uint32(n.id))
+		d.Int(int(n.kind))
+		d.F64(n.pos.X)
+		d.F64(n.pos.Y)
+		d.F64(n.vel.X)
+		d.F64(n.vel.Y)
+		d.I64(n.rngSeed)
+		if n.rngSrc != nil {
+			d.U64(n.rngSrc.Draws())
+		} else {
+			d.U64(0)
+		}
+		d.U32(uint32(n.vehID))
+		d.Bool(n.active)
+		d.Bool(n.left)
+		d.U64(n.seenStep)
+		n.mon.DigestInto(d)
+	}
+	d.U64(w.uid)
+	d.U64(w.stepSeq)
+	d.Int(w.joins)
+	d.Int(w.leaves)
+	d.Bool(w.beaconing)
+	d.Int(len(w.actives))
+	for _, n := range w.actives {
+		d.U32(uint32(n.id))
+	}
+	d.Int(len(w.locPos))
+	for i := range w.locPos {
+		d.F64(w.locPos[i].X)
+		d.F64(w.locPos[i].Y)
+		d.F64(w.locVel[i].X)
+		d.F64(w.locVel[i].Y)
+		d.Bool(w.locOK[i])
+	}
+	w.col.DigestInto(d)
+	if w.audit != nil {
+		d.Bool(true)
+		w.audit.digestInto(d)
+	} else {
+		d.Bool(false)
+	}
+	d.Int(len(w.extStreams))
+	for _, s := range w.extStreams {
+		d.Str(s.name)
+		d.I64(s.src.SeedValue())
+		d.U64(s.src.Draws())
+	}
+}
+
+// Digest returns the world's state digest (DigestInto through a fresh
+// writer) — the value checkpoints store and restores verify.
+func (w *World) Digest() uint64 {
+	d := digest.New()
+	w.DigestInto(d)
+	return d.Sum()
+}
+
+// AppendStreamStates appends the (owner, seed, draw position) of every
+// RNG stream the run consumes — the engine's, each node's private stream,
+// the mobility model's per-vehicle streams, and every registered external
+// stream — to dst. The checkpoint snapshot records the table; restore
+// verifies a fast-forwarded world reproduces it exactly.
+func (w *World) AppendStreamStates(dst []prng.State) []prng.State {
+	dst = w.eng.AppendStreamStates(dst)
+	for _, n := range w.nodes {
+		if n.rngSrc == nil {
+			continue
+		}
+		dst = append(dst, prng.StateOf(fmt.Sprintf("node%d", n.id), n.rngSrc))
+	}
+	if ss, ok := w.model.(streamSource); ok {
+		dst = ss.AppendStreamStates(dst)
+	}
+	for _, s := range w.extStreams {
+		dst = append(dst, prng.StateOf(s.name, s.src))
+	}
+	return dst
 }
 
 // observer packages a node's current kinematics for the reliability

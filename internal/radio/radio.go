@@ -25,6 +25,13 @@
 // advance it incrementally), the MAC consumes Links for every frame, and
 // beaconing rides the same cached neighborhoods since beacons are ordinary
 // MAC broadcasts.
+//
+// Checkpoint contract: the cache is pure memoization — every entry is a
+// function of the grid epoch and node positions, and which entries are
+// populated can differ by shard count (the sharded engine prefetches
+// eagerly). It is therefore excluded from the world's state digest and
+// never serialized; a restored world starts with a cold cache and
+// repopulates it on first transmit, byte-identically.
 package radio
 
 import (

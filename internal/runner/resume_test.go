@@ -1,0 +1,276 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/vanetlab/relroute/internal/checkpoint"
+	"github.com/vanetlab/relroute/internal/scenario"
+	"github.com/vanetlab/relroute/internal/sim"
+)
+
+// TestCheckpointedExecutionMatchesPlain: auto-checkpointing segments each
+// run but checkpoint boundaries are event-free, so summaries must be
+// byte-identical to unsegmented execution — and completed runs must clean
+// up their snapshot files.
+func TestCheckpointedExecutionMatchesPlain(t *testing.T) {
+	c := testCampaign()
+	plain, err := Summaries(Execute(c, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ckpt, err := Summaries(Pool{Workers: 2, CheckpointDir: dir, CheckpointEvery: 4}.Execute(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ckpt) {
+		t.Fatalf("checkpointed execution diverged from plain:\nplain: %+v\nckpt:  %+v", plain, ckpt)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("completed campaign left checkpoint files behind: %v", left)
+	}
+}
+
+// TestTimedOutRunLeavesLoadableCheckpoint wedges a run mid-simulation —
+// after two checkpoint boundaries have passed — and checks that the
+// timed-out attempt leaves its last boundary snapshot on disk as a valid,
+// loadable post-mortem artifact, and that the retry re-ran from scratch
+// instead of resuming the aborted attempt.
+func TestTimedOutRunLeavesLoadableCheckpoint(t *testing.T) {
+	var builds atomic.Int64
+	var c Campaign
+	c.Add(Run{Protocol: "Greedy", Opts: quickOpts(1), Setup: func(sc *scenario.Scenario) {
+		builds.Add(1)
+		eng := sc.World.Engine()
+		var spin func()
+		spin = func() { eng.After(0, spin) }
+		eng.After(6, spin) // wedge at t=6, past the boundaries at t=2 and t=4
+	}})
+	dir := t.TempDir()
+	results := Pool{
+		Workers: 1, Timeout: 200 * time.Millisecond, Retries: 1,
+		CheckpointDir: dir, CheckpointEvery: 2,
+	}.Execute(c)
+
+	if results[0].Err == nil {
+		t.Fatal("wedged run reported success")
+	}
+	if !errors.Is(results[0].Err, sim.ErrInterrupted) {
+		t.Fatalf("err = %v, want wrapped sim.ErrInterrupted", results[0].Err)
+	}
+	if results[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", results[0].Attempts)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("scenario built %d times, want 2 — every retry must start from a fresh build", builds.Load())
+	}
+
+	snap, err := checkpoint.ReadFile(filepath.Join(dir, "run0000.ckpt"))
+	if err != nil {
+		t.Fatalf("timed-out run left no loadable checkpoint: %v", err)
+	}
+	if snap.T != 4 {
+		t.Fatalf("post-mortem snapshot at t=%g, want 4 (the last boundary before the wedge; a resumed attempt would have left a later one)", snap.T)
+	}
+	if !snap.HasSetup {
+		t.Fatal("snapshot of a Setup-hooked run is not marked HasSetup")
+	}
+	// A HasSetup snapshot is rebuildable only by the process owning the
+	// hook: self-contained Restore must refuse it.
+	if _, err := checkpoint.Restore(snap); err == nil {
+		t.Fatal("Restore accepted a HasSetup snapshot")
+	}
+}
+
+// TestJournalResumeSkipsCompleted: a finished campaign resumed against its
+// journal re-executes nothing and reproduces the recorded summaries
+// exactly.
+func TestJournalResumeSkipsCompleted(t *testing.T) {
+	c := testCampaign()
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+
+	j, err := OpenJournal(path, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Pool{Workers: 4}.ExecuteResumable(context.Background(), c, j)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Summaries(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume in a "fresh process": reopen the journal and re-execute. A
+	// pool with zero retries and a poisoned Setup would fail any run that
+	// actually executes — instrument with a counter instead.
+	var executed atomic.Int64
+	c2 := testCampaign()
+	for i := range c2.Runs {
+		c2.Runs[i].Setup = func(*scenario.Scenario) { executed.Add(1) }
+	}
+	j2, err := OpenJournal(path, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Remaining(len(c2.Runs)); got != 0 {
+		t.Fatalf("journal reports %d remaining runs, want 0", got)
+	}
+	second := Pool{Workers: 4}.ExecuteResumable(context.Background(), c2, j2)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 0 {
+		t.Fatalf("resume re-executed %d completed runs", executed.Load())
+	}
+	got, err := Summaries(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("journal-reconstructed summaries diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestJournalResumeCompletesRemainder: a campaign killed partway (here:
+// one run fails, so it is never journaled) finishes the remainder on
+// resume without touching the finished runs, and the merged table equals
+// a clean run's.
+func TestJournalResumeCompletesRemainder(t *testing.T) {
+	mk := func(failFirst bool) Campaign {
+		var c Campaign
+		c.Add(Run{Protocol: "Greedy", Opts: quickOpts(1)})
+		run2 := Run{Protocol: "AODV", Opts: quickOpts(2)}
+		if failFirst {
+			run2.Setup = func(*scenario.Scenario) { panic("simulated crash") }
+		}
+		c.Add(run2)
+		return c
+	}
+	want, err := Summaries(Execute(mk(false), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j, err := OpenJournal(path, mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted := Pool{Workers: 1}.ExecuteResumable(context.Background(), mk(true), j)
+	j.Close()
+	if interrupted[0].Err != nil || interrupted[1].Err == nil {
+		t.Fatalf("setup: want run 0 ok, run 1 failed; got %v / %v", interrupted[0].Err, interrupted[1].Err)
+	}
+
+	// Setup hooks are not part of the campaign fingerprint, so the
+	// "restarted process" opens the same journal with the crash removed.
+	var executed atomic.Int64
+	c2 := mk(false)
+	first := c2.Runs[0].Setup
+	c2.Runs[0].Setup = func(sc *scenario.Scenario) {
+		executed.Add(1)
+		if first != nil {
+			first(sc)
+		}
+	}
+	j2, err := OpenJournal(path, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Remaining(len(c2.Runs)); got != 1 {
+		t.Fatalf("journal reports %d remaining runs, want 1", got)
+	}
+	resumed := Pool{Workers: 1}.ExecuteResumable(context.Background(), c2, j2)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 0 {
+		t.Fatal("resume re-executed the already-journaled run")
+	}
+	got, err := Summaries(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed campaign table diverged from clean run:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestJournalRejectsForeignCampaign: resuming a journal against a
+// different run list must fail loudly, never silently mix results.
+func TestJournalRejectsForeignCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j, err := OpenJournal(path, testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	var other Campaign
+	other.Add(Run{Protocol: "Greedy", Opts: quickOpts(99)})
+	if _, err := OpenJournal(path, other); err == nil {
+		t.Fatal("journal accepted a different campaign")
+	}
+
+	if err := os.WriteFile(path, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, testCampaign()); err == nil {
+		t.Fatal("journal accepted a non-journal file")
+	}
+}
+
+// TestExecuteContextCancellation: a cancelled context fails pending runs
+// immediately — without burning the retry budget — and interrupts
+// in-flight ones.
+func TestExecuteContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := Pool{Workers: 2, Retries: 3}.ExecuteContext(ctx, testCampaign())
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("run %d executed under a cancelled context", i)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("run %d err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Attempts != 1 {
+			t.Fatalf("run %d burned %d attempts on a cancelled campaign", i, r.Attempts)
+		}
+	}
+
+	// Mid-run cancellation: wedge the engine, cancel shortly after, and
+	// expect an interrupt attributed to the campaign, not retried.
+	var c Campaign
+	c.Add(Run{Protocol: "Greedy", Opts: quickOpts(1), Setup: func(sc *scenario.Scenario) {
+		eng := sc.World.Engine()
+		var spin func()
+		spin = func() { eng.After(0, spin) }
+		eng.After(0, spin)
+	}})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel2()
+	}()
+	results = Pool{Workers: 1, Retries: 3}.ExecuteContext(ctx2, c)
+	if !errors.Is(results[0].Err, sim.ErrInterrupted) {
+		t.Fatalf("err = %v, want wrapped sim.ErrInterrupted", results[0].Err)
+	}
+	if results[0].Attempts != 1 {
+		t.Fatalf("cancelled run was retried %d times", results[0].Attempts-1)
+	}
+}

@@ -14,11 +14,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/vanetlab/relroute/internal/checkpoint"
 	"github.com/vanetlab/relroute/internal/metrics"
 	"github.com/vanetlab/relroute/internal/scenario"
 	"github.com/vanetlab/relroute/internal/sim"
@@ -122,6 +125,25 @@ type Pool struct {
 	// timeout, or mid-run error — not a scenario-build error) is given
 	// before its error is recorded. Zero means a single attempt.
 	Retries int
+	// CheckpointDir, when non-empty, enables periodic auto-checkpointing:
+	// each run writes a snapshot to <dir>/runNNNN.ckpt at every checkpoint
+	// boundary. A run that completes removes its file; a run that fails —
+	// including one that exhausts Retries — leaves its last boundary
+	// snapshot on disk for post-mortem inspection. Retried attempts always
+	// start from a fresh build, never from the aborted attempt's
+	// checkpoint: an attempt is transiently failed precisely when its
+	// environment misbehaved, and resuming it would re-trust that
+	// environment's partial state. Runs whose Options carry an in-memory
+	// channel model are not capturable and run unsegmented.
+	CheckpointDir string
+	// CheckpointEvery is the simulation-time spacing of checkpoint
+	// boundaries in seconds; <= 0 means the checkpoint package default.
+	CheckpointEvery float64
+}
+
+// checkpointPath names run i's snapshot file inside CheckpointDir.
+func (p Pool) checkpointPath(i int) string {
+	return filepath.Join(p.CheckpointDir, fmt.Sprintf("run%04d.ckpt", i))
 }
 
 func (p Pool) workers(n int) int {
@@ -141,15 +163,55 @@ func (p Pool) workers(n int) int {
 // Execute runs the campaign and returns one result per run, in submission
 // order regardless of completion order or worker count.
 func (p Pool) Execute(c Campaign) []Result {
+	return p.ExecuteResumable(context.Background(), c, nil)
+}
+
+// ExecuteContext is Execute under a cancellable context: when ctx is
+// cancelled, in-flight runs are interrupted at their next event boundary
+// and record a cancellation error, and no further runs start. Results
+// still come back in submission order, one per run.
+func (p Pool) ExecuteContext(ctx context.Context, c Campaign) []Result {
+	return p.ExecuteResumable(ctx, c, nil)
+}
+
+// ExecuteResumable is ExecuteContext against a durable campaign journal:
+// runs the journal already records as completed are skipped — their
+// recorded summaries are returned in place, byte-identical to the
+// original execution — and every newly completed run is appended to the
+// journal before its worker moves on. A nil journal degrades to
+// ExecuteContext. Killing the process and re-running the same campaign
+// against the same journal therefore completes exactly the unfinished
+// remainder.
+func (p Pool) ExecuteResumable(ctx context.Context, c Campaign, j *Journal) []Result {
 	n := len(c.Runs)
 	results := make([]Result, n)
 	if n == 0 {
 		return results
 	}
+	if p.CheckpointDir != "" {
+		os.MkdirAll(p.CheckpointDir, 0o755)
+	}
+	runOne := func(i int) {
+		if j != nil {
+			if res, ok := j.Completed(i); ok {
+				label := res.Run.Label
+				res.Run = c.Runs[i]
+				if res.Run.Label == "" {
+					res.Run.Label = label
+				}
+				results[i] = res
+				return
+			}
+		}
+		results[i] = p.execute(ctx, i, c.Runs[i])
+		if j != nil && results[i].Err == nil {
+			j.Record(i, results[i])
+		}
+	}
 	workers := p.workers(n)
 	if workers == 1 {
-		for i, r := range c.Runs {
-			results[i] = p.execute(r)
+		for i := range c.Runs {
+			runOne(i)
 		}
 		return results
 	}
@@ -165,7 +227,7 @@ func (p Pool) Execute(c Campaign) []Result {
 				if i >= n {
 					return
 				}
-				results[i] = p.execute(c.Runs[i])
+				runOne(i)
 			}
 		}()
 	}
@@ -183,10 +245,10 @@ func Execute(c Campaign, workers int) []Result {
 // failures are re-attempted from a fresh build (every attempt is the same
 // deterministic simulation, so a retry only helps against environmental
 // faults — OOM-killed goroutines, timeouts on a loaded machine), while
-// scenario-build errors fail immediately.
-func (p Pool) execute(r Run) Result {
+// scenario-build errors and campaign cancellation fail immediately.
+func (p Pool) execute(ctx context.Context, idx int, r Run) Result {
 	for attempt := 1; ; attempt++ {
-		res, transient := p.attempt(r)
+		res, transient := p.attempt(ctx, idx, r)
 		res.Attempts = attempt
 		if res.Err == nil || !transient || attempt > p.Retries {
 			return res
@@ -196,8 +258,10 @@ func (p Pool) execute(r Run) Result {
 
 // attempt builds and runs one scenario, recovering panics into errors so a
 // bad run cannot take down sibling workers. The transient flag reports
-// whether retrying could plausibly change the outcome.
-func (p Pool) attempt(r Run) (res Result, transient bool) {
+// whether retrying could plausibly change the outcome. Every attempt
+// builds fresh; when checkpointing is on, the attempt executes segmented
+// and leaves its last boundary snapshot behind on failure.
+func (p Pool) attempt(ctx context.Context, idx int, r Run) (res Result, transient bool) {
 	res.Run = r
 	transient = true
 	defer func() {
@@ -205,6 +269,10 @@ func (p Pool) attempt(r Run) (res Result, transient bool) {
 			res.Err = fmt.Errorf("runner: %s: panic: %v", r.Protocol, pv)
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("runner: %s: %w", r.Protocol, err)
+		return res, false
+	}
 	sc, err := scenario.Build(r.Protocol, r.Opts)
 	if err != nil {
 		res.Err = err
@@ -213,21 +281,40 @@ func (p Pool) attempt(r Run) (res Result, transient bool) {
 	if r.Setup != nil {
 		r.Setup(sc)
 	}
+	runCtx := ctx
 	if p.Timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), p.Timeout)
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, p.Timeout)
 		defer cancel()
+	}
+	if runCtx.Done() != nil {
 		// Interrupt is checked at event-boundary granularity, so the
 		// engine unwinds within a bounded number of events of expiry.
-		stop := context.AfterFunc(ctx, sc.World.Engine().Interrupt)
+		stop := context.AfterFunc(runCtx, sc.World.Engine().Interrupt)
 		defer stop()
 	}
-	sum, err := sc.Run()
+	var sum metrics.Summary
+	if p.CheckpointDir != "" && r.Opts.Channel == nil {
+		sum, _, err = checkpoint.Run(sc, checkpoint.Policy{
+			Path:     p.checkpointPath(idx),
+			Every:    p.CheckpointEvery,
+			HasSetup: r.Setup != nil,
+		})
+	} else {
+		sum, err = sc.Run()
+	}
 	if err != nil {
 		if errors.Is(err, sim.ErrInterrupted) {
-			err = fmt.Errorf("%w (timed out after %v)", err, p.Timeout)
+			switch {
+			case ctx.Err() != nil:
+				err = fmt.Errorf("%w (campaign cancelled)", err)
+				transient = false
+			case p.Timeout > 0:
+				err = fmt.Errorf("%w (timed out after %v)", err, p.Timeout)
+			}
 		}
 		res.Err = err
-		return res, true
+		return res, transient
 	}
 	if res.Run.Label == "" {
 		res.Run.Label = r.Protocol + "/" + sc.Name

@@ -443,6 +443,13 @@ func (s *Scenario) Run() (metrics.Summary, error) {
 	return s.World.Collector().Summarize(s.Protocol, s.Name), nil
 }
 
+// Summary snapshots the run's metrics, labelled with the scenario's
+// protocol and name. Segmented drivers (the checkpoint plane) call it
+// after the final AdvanceTo + CompleteRun instead of Run.
+func (s *Scenario) Summary() metrics.Summary {
+	return s.World.Collector().Summarize(s.Protocol, s.Name)
+}
+
 // RunProtocol is the one-call convenience: build and run.
 func RunProtocol(protocol string, opts Options) (metrics.Summary, error) {
 	sc, err := Build(protocol, opts)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/vanetlab/relroute/internal/mobility"
+	"github.com/vanetlab/relroute/internal/prng"
 	"github.com/vanetlab/relroute/internal/roadnet"
 )
 
@@ -24,7 +25,7 @@ type ClosedTraffic struct{}
 // BuildModel implements Traffic. Draw order: one stream seed for the road
 // model, one for the population scatter.
 func (ClosedTraffic) BuildModel(net *roadnet.Network, segs []roadnet.SegmentID, rng *rand.Rand, opts *Options) (mobility.Model, error) {
-	model := mobility.NewRoadModel(net, rand.New(rand.NewSource(rng.Int63())), mobility.ContinueRandom)
+	model := mobility.NewRoadModelSeeded(net, rng.Int63(), mobility.ContinueRandom)
 	mobility.Populate(model, rand.New(rand.NewSource(rng.Int63())), mobility.PopulateOptions{
 		Count:     opts.Vehicles,
 		SpeedMean: opts.SpeedMean,
@@ -114,7 +115,7 @@ func (t OpenTraffic) initial(opts *Options) int {
 // BuildModel implements Traffic: the initial scatter mirrors
 // ClosedTraffic with the reduced count.
 func (t OpenTraffic) BuildModel(net *roadnet.Network, segs []roadnet.SegmentID, rng *rand.Rand, opts *Options) (mobility.Model, error) {
-	model := mobility.NewRoadModel(net, rand.New(rand.NewSource(rng.Int63())), mobility.ContinueRandom)
+	model := mobility.NewRoadModelSeeded(net, rng.Int63(), mobility.ContinueRandom)
 	mobility.Populate(model, rand.New(rand.NewSource(rng.Int63())), mobility.PopulateOptions{
 		Count:     t.initial(opts),
 		SpeedMean: opts.SpeedMean,
@@ -133,7 +134,8 @@ func (t OpenTraffic) Install(sc *Scenario) {
 		return
 	}
 	opts := &sc.Opts
-	rng := rand.New(rand.NewSource(opts.Seed + churnSeedOffset))
+	rng, churnSrc := prng.Rand(opts.Seed + churnSeedOffset)
+	sc.World.RegisterStream("scenario/churn", churnSrc)
 	eng := sc.World.Engine()
 	sc.World.SetJoinFactory(sc.factory)
 

@@ -6,10 +6,13 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 
+	"github.com/vanetlab/relroute/internal/digest"
 	"github.com/vanetlab/relroute/internal/eventq"
+	"github.com/vanetlab/relroute/internal/prng"
 )
 
 // ErrStopped is returned by Run when the engine was halted by Stop before
@@ -30,6 +33,13 @@ type Engine struct {
 	now     float64
 	q       eventq.Queue
 	root    *rand.Rand
+	rootSrc *prng.Source
+	// streams are the counting sources behind every generator handed out
+	// by Rand, in creation order (which is deterministic — stream creation
+	// happens on the single-threaded event path). Together with rootSrc
+	// they are the engine's share of the checkpoint stream table: each
+	// stream serializes as (seed, draw position).
+	streams []*prng.Source
 	stopped bool
 	events  uint64
 	// interrupted is the only cross-goroutine signal into the engine: a
@@ -41,7 +51,8 @@ type Engine struct {
 
 // NewEngine returns an engine whose random streams derive from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{root: rand.New(rand.NewSource(seed))}
+	src := prng.New(seed)
+	return &Engine{root: rand.New(src), rootSrc: src}
 }
 
 // Now returns the current simulation time in seconds.
@@ -58,7 +69,9 @@ func (e *Engine) Pending() int { return e.q.Len() }
 // MAC, mobility, each router) should take its own stream at construction
 // time so that adding randomness to one component does not perturb others.
 func (e *Engine) Rand() *rand.Rand {
-	return rand.New(rand.NewSource(e.RandSeed()))
+	r, src := prng.Rand(e.RandSeed())
+	e.streams = append(e.streams, src)
+	return r
 }
 
 // RandSeed draws the next stream seed from the root source without
@@ -67,6 +80,37 @@ func (e *Engine) Rand() *rand.Rand {
 // (keeping the root stream, and therefore every other component's stream,
 // byte-identical) and materialize the generator on first use.
 func (e *Engine) RandSeed() int64 { return e.root.Int63() }
+
+// DigestInto folds the engine's checkpoint-relevant state into d: the
+// clock, the executed-event count, the root stream position, every
+// derived stream's (seed, position), and the full pending-event queue
+// (times, scheduling order, slot generations — see eventq.DigestInto).
+// Two engines that executed the same event history digest identically,
+// regardless of process, shard count, or wall-clock interleaving.
+func (e *Engine) DigestInto(d *digest.Writer) {
+	d.F64(e.now)
+	d.U64(e.events)
+	d.I64(e.rootSrc.SeedValue())
+	d.U64(e.rootSrc.Draws())
+	d.Int(len(e.streams))
+	for _, s := range e.streams {
+		d.I64(s.SeedValue())
+		d.U64(s.Draws())
+	}
+	e.q.DigestInto(d)
+}
+
+// AppendStreamStates appends the serializable state of the engine's own
+// random streams — the root source plus every generator created through
+// Rand, in creation order — to dst. The checkpoint snapshot stores the
+// result; a restored engine must reproduce the table exactly.
+func (e *Engine) AppendStreamStates(dst []prng.State) []prng.State {
+	dst = append(dst, prng.StateOf("engine/root", e.rootSrc))
+	for i, s := range e.streams {
+		dst = append(dst, prng.StateOf(fmt.Sprintf("engine/stream%d", i), s))
+	}
+	return dst
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past is
 // clamped to "now" so callers don't silently lose events.

@@ -5,7 +5,9 @@ package spatial
 
 import (
 	"math"
+	"sort"
 
+	"github.com/vanetlab/relroute/internal/digest"
 	"github.com/vanetlab/relroute/internal/geom"
 )
 
@@ -172,6 +174,46 @@ func (g *Grid) removeFromCell(k cellKey, id int32) {
 		delete(g.cells, k)
 	} else {
 		g.cells[k] = items
+	}
+}
+
+// DigestInto folds the index's logical state into d for checkpoint
+// verification: the epoch, the dense position/presence arrays in ID
+// order, and every cell's member list in list order (cell list order is
+// observable — it decides range-query candidate order — and the sharded
+// commit protocol keeps it byte-identical at every shard count). Cells
+// are visited in sorted key order so the map's iteration order never
+// reaches the digest.
+func (g *Grid) DigestInto(d *digest.Writer) {
+	d.U64(g.epoch)
+	d.Int(g.count)
+	d.Int(len(g.pos))
+	for id, p := range g.pos {
+		if !g.in[id] {
+			continue
+		}
+		d.Int(id)
+		d.F64(p.X)
+		d.F64(p.Y)
+	}
+	keys := make([]cellKey, 0, len(g.cells))
+	for k := range g.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].cx != keys[j].cx {
+			return keys[i].cx < keys[j].cx
+		}
+		return keys[i].cy < keys[j].cy
+	})
+	for _, k := range keys {
+		d.U32(uint32(k.cx))
+		d.U32(uint32(k.cy))
+		items := g.cells[k]
+		d.Int(len(items))
+		for _, id := range items {
+			d.U32(uint32(id))
+		}
 	}
 }
 

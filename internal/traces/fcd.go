@@ -8,8 +8,10 @@ package traces
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -92,6 +94,14 @@ func Write(w io.Writer, tracks []mobility.Track) error {
 // Read parses a SUMO FCD export document into per-vehicle tracks. Vehicle
 // ids may be arbitrary strings; they are mapped to dense VehicleIDs in
 // first-seen order.
+//
+// Read validates as it parses and reports malformed input as wrapped
+// errors, never a panic or a silently poisoned track set: timestep times
+// must be finite and strictly increasing (SUMO writes them that way, and
+// downstream interpolation assumes it), a vehicle may appear at most once
+// per timestep, and every coordinate and speed must be a finite number —
+// a single NaN position would propagate through waypoint interpolation
+// into the spatial index and corrupt the whole simulation.
 func Read(r io.Reader) ([]mobility.Track, error) {
 	var doc fcdExport
 	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
@@ -99,12 +109,23 @@ func Read(r io.Reader) ([]mobility.Track, error) {
 	}
 	idMap := make(map[string]int)
 	var tracks []mobility.Track
-	for _, ts := range doc.Timesteps {
-		t, err := strconv.ParseFloat(ts.Time, 64)
+	prev := math.Inf(-1)
+	for i, ts := range doc.Timesteps {
+		t, err := parseFinite(ts.Time)
 		if err != nil {
 			return nil, fmt.Errorf("traces: bad timestep time %q: %w", ts.Time, err)
 		}
+		if t <= prev {
+			return nil, fmt.Errorf("traces: timestep %d: time %s does not increase (previous %s): %w",
+				i, ts.Time, fmtF(prev), ErrMalformed)
+		}
+		prev = t
+		seen := make(map[string]bool, len(ts.Vehicles))
 		for _, v := range ts.Vehicles {
+			if seen[v.ID] {
+				return nil, fmt.Errorf("traces: timestep %s lists vehicle %q twice: %w", ts.Time, v.ID, ErrMalformed)
+			}
+			seen[v.ID] = true
 			idx, ok := idMap[v.ID]
 			if !ok {
 				idx = len(tracks)
@@ -115,15 +136,15 @@ func Read(r io.Reader) ([]mobility.Track, error) {
 				}
 				tracks = append(tracks, mobility.Track{ID: mobility.VehicleID(idx), Class: class})
 			}
-			x, err := strconv.ParseFloat(v.X, 64)
+			x, err := parseFinite(v.X)
 			if err != nil {
 				return nil, fmt.Errorf("traces: vehicle %q bad x: %w", v.ID, err)
 			}
-			y, err := strconv.ParseFloat(v.Y, 64)
+			y, err := parseFinite(v.Y)
 			if err != nil {
 				return nil, fmt.Errorf("traces: vehicle %q bad y: %w", v.ID, err)
 			}
-			sp, err := strconv.ParseFloat(v.Speed, 64)
+			sp, err := parseFinite(v.Speed)
 			if err != nil {
 				return nil, fmt.Errorf("traces: vehicle %q bad speed: %w", v.ID, err)
 			}
@@ -133,6 +154,25 @@ func Read(r io.Reader) ([]mobility.Track, error) {
 		}
 	}
 	return tracks, nil
+}
+
+// ErrMalformed marks FCD input that parsed as XML but violates the
+// format's semantic contract (non-finite numbers, non-monotonic
+// timesteps). Callers can errors.Is against it to distinguish bad data
+// from I/O failures.
+var ErrMalformed = errors.New("malformed FCD document")
+
+// parseFinite parses a float and rejects NaN and ±Inf, which ParseFloat
+// happily accepts.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q: %w", s, ErrMalformed)
+	}
+	return v, nil
 }
 
 // ReadFile parses the SUMO FCD export at path — the scenario engine's

@@ -2,6 +2,7 @@ package traces
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"strings"
@@ -84,11 +85,19 @@ func TestWriteFormatLooksLikeSUMO(t *testing.T) {
 
 func TestReadErrors(t *testing.T) {
 	cases := map[string]string{
-		"not-xml":   "hello",
-		"bad-time":  `<fcd-export><timestep time="zzz"/></fcd-export>`,
-		"bad-x":     `<fcd-export><timestep time="0"><vehicle id="a" x="?" y="0" speed="0"/></timestep></fcd-export>`,
-		"bad-y":     `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="?" speed="0"/></timestep></fcd-export>`,
-		"bad-speed": `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="0" speed="?"/></timestep></fcd-export>`,
+		"not-xml":        "hello",
+		"bad-time":       `<fcd-export><timestep time="zzz"/></fcd-export>`,
+		"bad-x":          `<fcd-export><timestep time="0"><vehicle id="a" x="?" y="0" speed="0"/></timestep></fcd-export>`,
+		"bad-y":          `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="?" speed="0"/></timestep></fcd-export>`,
+		"bad-speed":      `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="0" speed="?"/></timestep></fcd-export>`,
+		"nan-x":          `<fcd-export><timestep time="0"><vehicle id="a" x="NaN" y="0" speed="0"/></timestep></fcd-export>`,
+		"inf-y":          `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="+Inf" speed="0"/></timestep></fcd-export>`,
+		"neg-inf-speed":  `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="0" speed="-inf"/></timestep></fcd-export>`,
+		"nan-time":       `<fcd-export><timestep time="nan"/></fcd-export>`,
+		"duplicate-time": `<fcd-export><timestep time="1"/><timestep time="1"/></fcd-export>`,
+		"backwards-time": `<fcd-export><timestep time="2"/><timestep time="1"/></fcd-export>`,
+		"truncated":      `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="0" sp`,
+		"dup-vehicle":    `<fcd-export><timestep time="0"><vehicle id="a" x="0" y="0" speed="0"/><vehicle id="a" x="1" y="1" speed="1"/></timestep></fcd-export>`,
 	}
 	for name, doc := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -96,6 +105,18 @@ func TestReadErrors(t *testing.T) {
 				t.Error("malformed document accepted")
 			}
 		})
+	}
+}
+
+func TestReadMalformedErrorsAreTyped(t *testing.T) {
+	for _, doc := range []string{
+		`<fcd-export><timestep time="0"><vehicle id="a" x="NaN" y="0" speed="0"/></timestep></fcd-export>`,
+		`<fcd-export><timestep time="1"/><timestep time="1"/></fcd-export>`,
+	} {
+		_, err := Read(strings.NewReader(doc))
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("err = %v, want wrapped ErrMalformed", err)
+		}
 	}
 }
 

@@ -28,6 +28,7 @@ package relroute
 import (
 	"fmt"
 
+	"github.com/vanetlab/relroute/internal/checkpoint"
 	"github.com/vanetlab/relroute/internal/core"
 	"github.com/vanetlab/relroute/internal/faults"
 	"github.com/vanetlab/relroute/internal/geom"
@@ -38,6 +39,7 @@ import (
 	"github.com/vanetlab/relroute/internal/mobility"
 	"github.com/vanetlab/relroute/internal/runner"
 	"github.com/vanetlab/relroute/internal/scenario"
+	"github.com/vanetlab/relroute/internal/sim"
 	"github.com/vanetlab/relroute/internal/traces"
 )
 
@@ -177,6 +179,60 @@ func Run(protocol string, opts Options) (Summary, error) {
 	return scenario.RunProtocol(protocol, opts)
 }
 
+// BuildScenario assembles a simulation of the named protocol without
+// running it — the entry point for checkpointed execution and for callers
+// that interrupt or instrument the run.
+func BuildScenario(protocol string, opts Options) (*Scenario, error) {
+	return scenario.Build(protocol, opts)
+}
+
+// ErrInterrupted is returned (wrapped) by runs whose engine was stopped
+// early via Interrupt — a timeout, a cancelled campaign, or Ctrl-C.
+var ErrInterrupted = sim.ErrInterrupted
+
+// Checkpoint is a point-in-time snapshot of a running simulation: the
+// run's identity (protocol + options), its progress (simulation time and
+// event count), the full RNG stream table, and a state digest. Restoring
+// rebuilds the run deterministically and proves — by digest and stream
+// verification — that the continuation is byte-identical to the
+// uninterrupted run. See internal/checkpoint for the design.
+type Checkpoint = checkpoint.Snapshot
+
+// CheckpointPolicy configures segmented execution with periodic snapshot
+// writes (RunCheckpointed).
+type CheckpointPolicy = checkpoint.Policy
+
+// Checkpoint error classes, for errors.Is: a non-checkpoint file, a
+// corrupted or truncated payload, an incompatible format version, and a
+// restore whose re-derived state failed verification.
+var (
+	ErrCheckpointMagic    = checkpoint.ErrMagic
+	ErrCheckpointChecksum = checkpoint.ErrChecksum
+	ErrCheckpointVersion  = checkpoint.ErrVersion
+	ErrCheckpointVerify   = checkpoint.ErrVerify
+)
+
+// ReadCheckpoint reads and validates a checkpoint file (magic, checksum,
+// format version).
+func ReadCheckpoint(path string) (*Checkpoint, error) { return checkpoint.ReadFile(path) }
+
+// WriteCheckpoint atomically writes a checkpoint file.
+func WriteCheckpoint(path string, snap *Checkpoint) error { return checkpoint.WriteFile(path, snap) }
+
+// RestoreCheckpoint rebuilds the snapshot's run and fast-forwards it to
+// the checkpoint boundary, verifying the state digest and every RNG
+// stream. Mutate snap.Opts.Shards first to restore at a different shard
+// count — shard count is not part of a run's identity.
+func RestoreCheckpoint(snap *Checkpoint) (*Scenario, error) { return checkpoint.Restore(snap) }
+
+// RunCheckpointed executes a scenario (fresh or restored) in
+// checkpoint-spaced segments, byte-identical to an unsegmented run. done
+// is false when the run stopped early at pol.StopAt with a checkpoint on
+// disk.
+func RunCheckpointed(sc *Scenario, pol CheckpointPolicy) (sum Summary, done bool, err error) {
+	return checkpoint.Run(sc, pol)
+}
+
 // Campaign is an ordered batch of simulation runs; see BatchRun and
 // BatchSpec for assembling one.
 type Campaign = runner.Campaign
@@ -213,6 +269,29 @@ type Stat = metrics.Stat
 func RunBatch(c Campaign, workers int) []BatchResult {
 	return runner.Execute(c, workers)
 }
+
+// BatchPool executes campaigns with explicit policy: worker count,
+// per-run timeout, retry budget, auto-checkpointing (CheckpointDir), and
+// — via ExecuteContext / ExecuteResumable — cancellation and durable
+// campaign manifests.
+type BatchPool = runner.Pool
+
+// CampaignJournal is a durable campaign manifest: completed runs are
+// recorded in an append-only JSONL file, and re-executing the same
+// campaign against it skips them, returning the recorded summaries
+// byte-identically.
+type CampaignJournal = runner.Journal
+
+// OpenCampaignJournal opens (or creates) the manifest at path for the
+// campaign. An existing file must belong to the same campaign — a
+// mismatched fingerprint is an error.
+func OpenCampaignJournal(path string, c Campaign) (*CampaignJournal, error) {
+	return runner.OpenJournal(path, c)
+}
+
+// CampaignFingerprint hashes a campaign's run list — the identity a
+// CampaignJournal is keyed by.
+func CampaignFingerprint(c Campaign) uint64 { return runner.CampaignHash(c) }
 
 // Summaries unwraps batch results into summaries, surfacing the first
 // failed run as an error.
