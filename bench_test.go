@@ -109,7 +109,7 @@ func BenchmarkProtocolHighway(b *testing.B) {
 // BenchmarkScaleVehicles measures how simulation cost grows with world
 // size under the flooding worst case.
 func BenchmarkScaleVehicles(b *testing.B) {
-	for _, n := range []int{25, 50, 100, 200, 500, 1000, 2000} {
+	for _, n := range []int{25, 50, 100, 200, 500, 1000, 2000, 5000, 10000} {
 		b.Run(strconv.Itoa(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := relroute.Run("Flooding", relroute.Options{
@@ -128,7 +128,7 @@ func BenchmarkScaleVehicles(b *testing.B) {
 // byte-identical to the sequential rows (the shard tests pin that); only
 // wall-clock may differ, by up to the core count.
 func BenchmarkScaleVehiclesSharded(b *testing.B) {
-	for _, n := range []int{1000, 2000} {
+	for _, n := range []int{1000, 2000, 5000, 10000} {
 		b.Run(strconv.Itoa(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := relroute.Run("Flooding", relroute.Options{

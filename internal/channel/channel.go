@@ -49,6 +49,20 @@ type Precomputed interface {
 	DecodableAt(loss float64, rng *rand.Rand) bool
 }
 
+// BatchPrecomputed is implemented by Precomputed models that can fill a
+// whole slice of link budgets in one call. The radio sweep's inner loop
+// uses it so the per-pair cost is a concrete method dispatched once per
+// batch instead of an interface call per pair.
+//
+// PathLossInto must write exactly PathLoss(dists[i]) into dst[i] for every
+// i — same expression, bit for bit — so batch-built neighborhoods are
+// indistinguishable from per-pair ones. dst and dists must have the same
+// length and may not overlap.
+type BatchPrecomputed interface {
+	Precomputed
+	PathLossInto(dst, dists []float64)
+}
+
 // UnitDisk is the idealised model: every frame within Range is received,
 // nothing beyond. It keeps analytic results exact, so the Fig. 3 lifetime
 // validation uses it.
@@ -75,6 +89,12 @@ func (u UnitDisk) PathLoss(d float64) float64 { return d }
 
 // DecodableAt implements Precomputed.
 func (u UnitDisk) DecodableAt(loss float64, _ *rand.Rand) bool { return loss <= u.Range }
+
+var _ BatchPrecomputed = UnitDisk{}
+
+// PathLossInto implements BatchPrecomputed: the unit disk's link budget is
+// the distance itself, so the batch is a copy.
+func (u UnitDisk) PathLossInto(dst, dists []float64) { copy(dst, dists) }
 
 // RSSI implements Model with a deterministic log-distance curve so RSSI
 // ordering still reflects distance.
@@ -164,6 +184,20 @@ func (s *Shadowing) DecodableAt(loss float64, rng *rand.Rand) bool {
 		return false
 	}
 	return rng.Float64() < loss
+}
+
+var _ BatchPrecomputed = (*Shadowing)(nil)
+
+// PathLossInto implements BatchPrecomputed: the same receipt-probability
+// chain as PathLoss, evaluated as a direct concrete-method loop.
+func (s *Shadowing) PathLossInto(dst, dists []float64) {
+	if len(dists) == 0 {
+		return
+	}
+	_ = dst[len(dists)-1] // one bounds check for the loop
+	for i, d := range dists {
+		dst[i] = s.Receipt.Prob(d)
+	}
 }
 
 // RSSI implements Model: mean path-loss power plus a shadowing draw.

@@ -135,3 +135,33 @@ func TestPrecomputedContract(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchPathLossContract pins the bulk API for both models: PathLossInto
+// must write exactly PathLoss(d) — bit for bit — for every distance, so a
+// batch-built radio neighborhood is indistinguishable from a per-pair one.
+func TestBatchPathLossContract(t *testing.T) {
+	models := map[string]Model{
+		"unitdisk":  UnitDisk{Range: 250},
+		"shadowing": NewShadowing(prob.DefaultReceiptModel()),
+	}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			batch, ok := m.(BatchPrecomputed)
+			if !ok {
+				t.Fatalf("%s does not implement BatchPrecomputed", name)
+			}
+			var dists []float64
+			for d := 0.0; d < 1200; d += 0.7 {
+				dists = append(dists, d)
+			}
+			dst := make([]float64, len(dists))
+			batch.PathLossInto(dst, dists)
+			for i, d := range dists {
+				if want := batch.PathLoss(d); dst[i] != want {
+					t.Fatalf("d=%v: batch loss %v, scalar %v", d, dst[i], want)
+				}
+			}
+			batch.PathLossInto(nil, nil) // empty batch is a no-op, not a panic
+		})
+	}
+}

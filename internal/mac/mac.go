@@ -390,7 +390,13 @@ func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 	st.txUnicastOK = false
 	l.col.MACTransmits++
 
-	for _, lk := range l.radio.Links(from) {
+	links := l.radio.Links(from)
+	// size the reception record list once: an append-doubling chain per
+	// cold transmit is pure GC pressure at city density
+	if cap(st.txRecs) < len(links) {
+		st.txRecs = make([]txRec, 0, len(links))
+	}
+	for _, lk := range links {
 		decoded := l.radio.Decodable(lk, l.rng)
 		if l.linkFault != nil {
 			// Fault losses stack after the channel draw. Only a partial

@@ -103,7 +103,13 @@ func DefaultIDM(desiredSpeed float64) IDMParams {
 // (bumper to bumper) and approach rate dv = v − vLeader. Pass gap = +Inf
 // for free road.
 func (p IDMParams) accel(v, gap, dv float64) float64 {
-	free := 1 - math.Pow(v/math.Max(p.DesiredSpeed, 0.1), 4)
+	// (v/v0)^4 as two squarings. math.Pow's integer-exponent path computes
+	// exactly this repeated-squaring product (one rounding per squaring),
+	// so the result is bit-identical for the physical domain here — and an
+	// order of magnitude cheaper in the per-vehicle hot loop.
+	r := v / math.Max(p.DesiredSpeed, 0.1)
+	r2 := r * r
+	free := 1 - r2*r2
 	if math.IsInf(gap, 1) {
 		return p.MaxAccel * free
 	}
@@ -131,9 +137,21 @@ type vehicle struct {
 	// lane-change hysteresis: no second change for a short period
 	laneCooldown float64
 	// orderIdx is this vehicle's position in its (segment, lane) ordered
-	// list, refreshed by advance's sort phases; it makes the same-lane
-	// leader lookup O(1).
+	// list, refreshed by advance's sort phases and kept exact by list
+	// surgery between ticks; it makes the same-lane leader lookup O(1)
+	// and makes ordered removal O(shift) instead of O(search).
 	orderIdx int32
+}
+
+// memberMove records one vehicle leaving the lane list it occupied at the
+// start of a sharded phase — because it changed lane, crossed a junction,
+// or despawned. Shards only record; the serial merge after the phase
+// barrier performs the ordered remove (and, unless gone, the ordered
+// reinsert under the vehicle's new key), so list mutation never races.
+type memberMove struct {
+	v      *vehicle
+	oldKey int32 // index into order the vehicle is being removed from
+	gone   bool  // despawned: remove without reinsert
 }
 
 // random returns the vehicle's private RNG stream, materializing it on
@@ -160,11 +178,24 @@ type RoadModel struct {
 	rng   *rand.Rand
 	now   float64
 	exitP ExitPolicy
-	// scratch: per (segment, lane) ordered vehicle lists, rebuilt each
-	// tick. Indexed densely by seg*maxLanes+lane — no map hashing in the
-	// per-vehicle hot path.
-	order    [][]*vehicle
-	maxLanes int
+	// order holds the per (segment, lane) vehicle lists, sorted by
+	// (offset, ID) and indexed densely by seg*maxLanes+lane — no map
+	// hashing in the per-vehicle hot path. Once listsLive is set the lists
+	// persist across ticks and are maintained incrementally: integration
+	// only perturbs order (fixed by the near-linear insertion resort), and
+	// every membership change — lane change, junction transition, spawn,
+	// despawn — is applied as an ordered remove/insert at a serial merge
+	// point. Rebuilding and fully sorting from scratch each tick was the
+	// single largest cost in dense worlds. vehBefore is a total order, so
+	// the incrementally maintained lists are byte-identical to
+	// scratch-built ones.
+	order     [][]*vehicle
+	maxLanes  int
+	listsLive bool
+	// moves holds the per-shard membership-change buffers the lane-change
+	// and junction phases fill; the serial merge drains them in shard
+	// order (= vehicle index order). Backing arrays are reused.
+	moves [][]memberMove
 	// shardStart is StatesIntoShards' reused output-offset scratch.
 	shardStart []int
 	// rngSrc is the counting source behind rng when the model was built
@@ -244,6 +275,9 @@ func (m *RoadModel) AddVehicle(seg roadnet.SegmentID, lane int, offset float64, 
 		rngSeed: m.rng.Int63(),
 	}
 	m.vs = append(m.vs, v)
+	if m.listsLive {
+		m.insertOrdered(v)
+	}
 	return v.id
 }
 
@@ -262,7 +296,11 @@ func (m *RoadModel) RemoveVehicle(id VehicleID) bool {
 	if id < 0 || int(id) >= len(m.vs) || m.vs[id] == nil {
 		return false
 	}
+	v := m.vs[id]
 	m.vs[id] = nil
+	if m.listsLive {
+		m.removeOrdered(int32(int(v.seg)*m.maxLanes+v.lane), v)
+	}
 	return true
 }
 
@@ -303,26 +341,41 @@ func (m *RoadModel) AdvanceShards(dt float64, pool *par.Pool) { m.advance(dt, po
 //   - accel: reads leaders' frozen offset/speed, writes only v.accel.
 //   - integrate: reads only v.accel, writes v.speed/v.offset/cooldown.
 //   - resort + lane changes + junctions: lane changes write only v.lane
-//     (list membership is stale until the next rebuild, exactly as in the
-//     sequential formulation), and junction transitions touch only the
-//     vehicle's own record and slot, drawing only its private RNG.
+//     (list membership stays stale through the phase, exactly as in the
+//     sequential formulation; the serial merge after the barrier splices
+//     the lists), and junction transitions touch only the vehicle's own
+//     record and slot, drawing only its private RNG.
 //
 // Lane changes and junctions stay separate phases: a junction transition
 // rewrites v.offset relative to a new segment, and the sequential
 // formulation let every lane-change decision observe pre-transition
 // offsets.
+//
+// The lane lists are rebuilt from scratch only on the first tick after
+// construction (or restore). Every later tick inherits lists that are
+// already membership-exact and sorted: the previous tick's surgery merges
+// applied every lane change, junction move, and despawn, and AddVehicle/
+// RemoveVehicle splice between ticks. Since vehBefore is a total order,
+// "maintained incrementally" and "rebuilt from scratch" denote the same
+// unique permutation — the skip changes no observable state.
 func (m *RoadModel) advance(dt float64, pool *par.Pool) {
 	m.now += dt
-	m.bucketOrder()
-	pool.Run(func(shard int) {
-		lo, hi := pool.Range(len(m.order), shard)
-		for _, list := range m.order[lo:hi] {
-			sortVehicles(list)
-			for i, o := range list {
-				o.orderIdx = int32(i)
+	for len(m.moves) < pool.Shards() {
+		m.moves = append(m.moves, nil)
+	}
+	if !m.listsLive {
+		m.bucketOrder()
+		pool.Run(func(shard int) {
+			lo, hi := pool.Range(len(m.order), shard)
+			for _, list := range m.order[lo:hi] {
+				sortVehicles(list)
+				for i, o := range list {
+					o.orderIdx = int32(i)
+				}
 			}
-		}
-	})
+		})
+		m.listsLive = true
+	}
 	// 1. accelerations from current leaders
 	pool.Run(func(shard int) {
 		lo, hi := pool.Range(len(m.vs), shard)
@@ -368,16 +421,27 @@ func (m *RoadModel) advance(dt float64, pool *par.Pool) {
 		}
 	})
 	pool.Run(func(shard int) {
+		buf := m.moves[shard]
 		lo, hi := pool.Range(len(m.vs), shard)
 		for _, v := range m.vs[lo:hi] {
 			if v == nil {
 				continue
 			}
+			oldLane := v.lane
 			m.maybeChangeLane(v)
+			if v.lane != oldLane {
+				buf = append(buf, memberMove{v: v, oldKey: int32(int(v.seg)*m.maxLanes + oldLane)})
+			}
 		}
+		m.moves[shard] = buf
 	})
+	// The lane merge runs before the junction phase so junction records
+	// capture the post-lane-change key; nothing in the junction phase
+	// reads the lists, so the mid-tick splice is unobservable.
+	m.applyMoves()
 	// 4. junction transitions
 	pool.Run(func(shard int) {
+		buf := m.moves[shard]
 		lo, hi := pool.Range(len(m.vs), shard)
 		for i := lo; i < hi; i++ {
 			v := m.vs[i]
@@ -385,6 +449,13 @@ func (m *RoadModel) advance(dt float64, pool *par.Pool) {
 				continue
 			}
 			seg := m.net.Segment(v.seg)
+			if v.offset < seg.Length() {
+				continue
+			}
+			// The vehicle leaves its current list: it either enters a new
+			// segment, despawns, or parks at a dead end (same key, new
+			// offset — still a remove+reinsert to keep the list sorted).
+			oldKey := int32(int(v.seg)*m.maxLanes + v.lane)
 			for v.offset >= seg.Length() {
 				over := v.offset - seg.Length()
 				next, ok := m.nextSegment(v)
@@ -404,8 +475,67 @@ func (m *RoadModel) advance(dt float64, pool *par.Pool) {
 				}
 				v.offset = over
 			}
+			buf = append(buf, memberMove{v: v, oldKey: oldKey, gone: m.vs[i] == nil})
 		}
+		m.moves[shard] = buf
 	})
+	m.applyMoves()
+}
+
+// applyMoves drains the per-shard membership-move buffers in shard order.
+// pool.Range splits the vehicle slice into contiguous index windows, so
+// shard order concatenates to vehicle-ID order — the merge is byte-
+// deterministic at every shard count. Runs serially: list splices and the
+// orderIdx fixups they imply must not race.
+func (m *RoadModel) applyMoves() {
+	for s, buf := range m.moves {
+		for _, mv := range buf {
+			m.removeOrdered(mv.oldKey, mv.v)
+			if !mv.gone {
+				m.insertOrdered(mv.v)
+			}
+		}
+		clear(buf) // don't pin despawned vehicles through the reused arena
+		m.moves[s] = buf[:0]
+	}
+}
+
+// removeOrdered splices v out of the lane list at key, preserving order
+// and restoring the orderIdx invariant for every shifted entry. v.orderIdx
+// is trusted: it is exact at every merge point and between ticks.
+func (m *RoadModel) removeOrdered(key int32, v *vehicle) {
+	list := m.order[key]
+	i := int(v.orderIdx)
+	copy(list[i:], list[i+1:])
+	list = list[:len(list)-1]
+	m.order[key] = list
+	for ; i < len(list); i++ {
+		list[i].orderIdx = int32(i)
+	}
+}
+
+// insertOrdered splices v into the lane list of its current (segment,
+// lane) at the position vehBefore dictates, fixing orderIdx from the
+// insertion point on.
+func (m *RoadModel) insertOrdered(v *vehicle) {
+	key := int(v.seg)*m.maxLanes + v.lane
+	list := m.order[key]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if vehBefore(list[mid], v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	list = append(list, nil)
+	copy(list[lo+1:], list[lo:])
+	list[lo] = v
+	m.order[key] = list
+	for i := lo; i < len(list); i++ {
+		list[i].orderIdx = int32(i)
+	}
 }
 
 // nextSegment pops the route or applies the exit policy.
@@ -440,12 +570,12 @@ func (m *RoadModel) nextSegment(v *vehicle) (roadnet.SegmentID, bool) {
 
 // bucketOrder refills the per-(segment, lane) lists from the live vehicle
 // set, leaving them unsorted — the sort (plus orderIdx refresh) runs as
-// the first parallel phase of advance, one disjoint list range per shard.
-// Lane lists are truncated and refilled in place (instead of reallocated)
-// so their backing arrays are reused tick after tick. Equal-offset
-// vehicles order by ID because vehBefore breaks ties on ID (a total
-// order — the sort need not be stable), the invariant gapAhead's
-// tie-break relies on.
+// the first parallel phase of the one rebuild tick; every later tick
+// maintains the lists incrementally and skips both. Lane lists are
+// truncated and refilled in place (instead of reallocated) so their
+// backing arrays are reused. Equal-offset vehicles order by ID because
+// vehBefore breaks ties on ID (a total order — the sort need not be
+// stable), the invariant gapAhead's tie-break relies on.
 func (m *RoadModel) bucketOrder() {
 	for k, list := range m.order {
 		if len(list) > 0 {
@@ -488,10 +618,19 @@ func insertionSortVehicles(list []*vehicle) {
 // sort still yields one unique permutation.
 func sortVehicles(list []*vehicle) {
 	slices.SortFunc(list, func(a, b *vehicle) int {
-		if vehBefore(a, b) {
-			return -1
+		// open-coded vehBefore both ways: one comparison per pair instead
+		// of two full vehBefore calls — this comparator is the hottest
+		// function in dense worlds
+		if a.offset != b.offset {
+			if a.offset < b.offset {
+				return -1
+			}
+			return 1
 		}
-		if vehBefore(b, a) {
+		if a.id != b.id {
+			if a.id < b.id {
+				return -1
+			}
 			return 1
 		}
 		return 0

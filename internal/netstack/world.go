@@ -188,12 +188,10 @@ type World struct {
 	// out over Config.Shards shards (par.Seq — inline, no goroutines —
 	// until Run upgrades it); actives is the sorted-by-ID slice of nodes
 	// with active == true, so sweeps iterate members instead of scanning
-	// every node ever created; shards holds each shard's merge buffers;
-	// activeIDs is the reused id list handed to the radio prefetch.
-	pool      *par.Pool
-	actives   []*node
-	shards    []stepShard
-	activeIDs []int32
+	// every node ever created; shards holds each shard's merge buffers.
+	pool    *par.Pool
+	actives []*node
+	shards  []stepShard
 
 	// est is the shared link-quality estimator every node's Monitor
 	// predicts with (Config.Estimator); audit is the optional ground-truth
@@ -814,17 +812,15 @@ func (w *World) step(dt float64) {
 	if w.audit != nil {
 		w.auditStep(now)
 	}
-	// Radio prefetch: when enough of the population transmitted during
+	// Radio rebuild: when enough of the population transmitted during
 	// the previous epoch that the lazy per-transmitter rebuilds would
-	// dominate the serial event path anyway, build every active node's
-	// neighborhood here, across the shards, while the geometry is final
-	// for the tick. Pure prefetch — identical lists, identical outputs.
-	if s := pool.Shards(); s > 1 && len(w.actives) > 0 && w.links.PrevEpochUse()*s >= len(w.actives) {
-		w.activeIDs = w.activeIDs[:0]
-		for _, n := range w.actives {
-			w.activeIDs = append(w.activeIDs, int32(n.id))
-		}
-		w.links.RebuildAll(pool, w.activeIDs)
+	// dominate the serial event path anyway, rebuild every neighborhood
+	// here — the symmetric cell-pair sweep over the grid's CSR snapshot,
+	// sharded by cell stripes — while the geometry is final for the tick.
+	// Pure prefetch — identical lists, identical outputs; sparse-demand
+	// worlds stay on the lazy per-node path.
+	if w.links.SweepWorthwhile(len(w.actives), pool.Shards()) {
+		w.links.RebuildSweep(pool)
 	}
 }
 

@@ -1,11 +1,14 @@
 package radio
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/vanetlab/relroute/internal/channel"
 	"github.com/vanetlab/relroute/internal/geom"
+	"github.com/vanetlab/relroute/internal/par"
 	"github.com/vanetlab/relroute/internal/prob"
+	"github.com/vanetlab/relroute/internal/spatial"
 )
 
 // BenchmarkLinksHit measures the per-frame fast path: a cached
@@ -30,5 +33,47 @@ func BenchmarkLinksRebuild(b *testing.B) {
 	for n := 0; n < b.N; n++ {
 		grid.Update(0, geom.V(float64(n%100), 0))
 		c.Links(32)
+	}
+}
+
+// sweepBenchWorld is a 512-node highway cloud dense enough that every
+// node has a few dozen neighbors — the regime where full-population
+// rebuild cost is decided.
+func sweepBenchWorld(model channel.Model) (*spatial.Grid, *Cache) {
+	grid := spatial.NewGrid(model.MaxRange())
+	rng := rand.New(rand.NewSource(5))
+	for id := int32(0); id < 512; id++ {
+		grid.Update(id, geom.V(rng.Float64()*4000, rng.Float64()*500))
+	}
+	return grid, NewCache(grid, model)
+}
+
+// BenchmarkRebuildSweep measures rebuilding EVERY neighborhood via the
+// symmetric cell-pair sweep: each unordered pair's distance and path loss
+// computed once, written to both endpoints.
+func BenchmarkRebuildSweep(b *testing.B) {
+	model := channel.NewShadowing(prob.DefaultReceiptModel())
+	grid, c := sweepBenchWorld(model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		grid.Update(0, geom.V(float64(n%100), 0))
+		c.RebuildSweep(par.Seq)
+	}
+}
+
+// BenchmarkRebuildAllLazy is the same full-population rebuild through the
+// per-transmitter lazy path — every pair visited from both ends. The gap
+// to BenchmarkRebuildSweep is the sweep's halved pair math.
+func BenchmarkRebuildAllLazy(b *testing.B) {
+	model := channel.NewShadowing(prob.DefaultReceiptModel())
+	grid, c := sweepBenchWorld(model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		grid.Update(0, geom.V(float64(n%100), 0))
+		for id := int32(0); id < 512; id++ {
+			c.Links(id)
+		}
 	}
 }

@@ -7,18 +7,51 @@
 // math per frame; with beacon storms every node transmits every interval,
 // making that the dominant cost at city density. Positions only change at
 // mobility-tick boundaries (plus node join/leave), so all of it is a pure
-// function of the grid's epoch. The cache memoizes a node's neighborhood
-// the first time it transmits in an epoch and reuses it — one comparison
-// against spatial.Grid.Epoch — for every subsequent frame until the world
-// moves again. Large-scale VANET simulators (ns-3, Veins) amortize their
-// O(n²) transmit paths the same way.
+// function of the grid's epoch. The cache memoizes neighborhoods per epoch
+// and reuses them — one comparison against spatial.Grid.Epoch — for every
+// subsequent frame until the world moves again.
 //
-// Determinism contract: Links lists candidates in exactly the order
-// spatial.Grid.Within returns them, with distances computed by the same
-// expression the uncached MAC used, and channel.Precomputed guarantees
-// DecodableAt(PathLoss(d)) consumes the same RNG draws as Decodable(d).
-// A cached transmit is therefore byte-identical to an uncached one — the
-// golden-file tests pin this.
+// Two build paths fill the same hoods:
+//
+//   - Lazy (Links): one node's neighborhood on first use in an epoch, by
+//     walking the grid's 3×3 cell stencil around the transmitter. Right
+//     when only a sparse subset of the population transmits per epoch —
+//     flooding bursts, idle worlds — because untransmitting nodes never
+//     pay anything.
+//
+//   - Eager sweep (RebuildSweep): every neighborhood in one symmetric pass
+//     over the grid's CSR snapshot (spatial.Snapshot — occupied cells
+//     sorted by (CX, CY), members packed contiguously). The sweep
+//     enumerates each unordered in-range cell pair once, computes each
+//     in-range pair's distance and path loss once, and writes the link
+//     into both endpoints' hoods — half the pair math of n per-node
+//     stencil walks, over contiguous arrays instead of per-cell map
+//     probes, with the link budget evaluated through the channel's batch
+//     API (channel.BatchPrecomputed) instead of an interface call per
+//     pair. Pair discovery shards over cell stripes through par.Pool; a
+//     serial scatter then fills the hoods. Right when most of the
+//     population transmits every epoch — beaconing protocols at any
+//     density. The world picks per epoch via SweepWorthwhile.
+//
+// Order reconstruction: Links must list candidates in exactly the order
+// spatial.Grid.Within returns them — ascending (cx, cy) cell rank, then
+// cell list order — because golden outputs consume links in list order.
+// A transmitter's stencil covers every in-range cell, so that order is the
+// restriction of one global total order (CSR cell rank, then in-cell
+// position) to the in-range subset, independent of the transmitter. The
+// sweep exploits this: enumerating cell pairs (a, b) with a ≤ b in rank
+// order — in-cell pairs i < j first, then forward cells by rank — and
+// scattering per-shard pair buffers in shard order appends every link in
+// exactly that global order, so each hood comes out byte-identical to a
+// lazy build. Distances are bitwise symmetric (math.Hypot of negated
+// differences), so one computation serves both directions.
+//
+// Determinism contract: both paths produce identical link lists, with
+// distances computed by the same expression the uncached MAC used, and
+// channel.Precomputed guarantees DecodableAt(PathLoss(d)) consumes the
+// same RNG draws as Decodable(d). A cached transmit — lazy or swept — is
+// therefore byte-identical to an uncached one at every shard count; the
+// golden-file and sweep property tests pin this.
 //
 // The cache is shared: the netstack world owns invalidation (its mobility
 // step's grid updates advance the epoch; join/leave and failure injection
@@ -28,13 +61,14 @@
 //
 // Checkpoint contract: the cache is pure memoization — every entry is a
 // function of the grid epoch and node positions, and which entries are
-// populated can differ by shard count (the sharded engine prefetches
-// eagerly). It is therefore excluded from the world's state digest and
-// never serialized; a restored world starts with a cold cache and
-// repopulates it on first transmit, byte-identically.
+// populated can differ by shard count and build path. It is therefore
+// excluded from the world's state digest and never serialized; a restored
+// world starts with a cold cache and repopulates it on first transmit or
+// first sweep, byte-identically.
 package radio
 
 import (
+	"math"
 	"math/rand"
 
 	"github.com/vanetlab/relroute/internal/channel"
@@ -52,28 +86,41 @@ type Link struct {
 // Cache memoizes candidate receiver lists per transmitter. It is built
 // over a Grid and a channel Model once per world; the zero value is not
 // usable. Not safe for concurrent use — like every per-world structure,
-// it belongs to the single-threaded simulation engine.
+// it belongs to the single-threaded simulation engine (RebuildSweep fans
+// out internally over disjoint state).
 type Cache struct {
-	grid    *spatial.Grid
-	model   channel.Model
-	pre     channel.Precomputed // non-nil when model supports the split API
-	hoods   []hood              // dense, keyed by node ID
-	scratch []int32             // reused Within result buffer
-	builds  uint64              // rebuild counter (instrumentation/tests)
+	grid   *spatial.Grid
+	model  channel.Model
+	pre    channel.Precomputed      // non-nil when model supports the split API
+	batch  channel.BatchPrecomputed // non-nil when model supports bulk path loss
+	hoods  []hood                   // dense, keyed by node ID
+	builds uint64                   // rebuild counter (instrumentation/tests)
 
-	// usage accounting for the sharded eager-rebuild heuristic: how many
-	// distinct transmitters requested their neighborhood during the
-	// current and the previous grid epoch. Requests ride the serial
-	// transmit path, so the counts are deterministic.
+	// usage accounting for the eager-sweep heuristic: how many distinct
+	// transmitters requested their neighborhood during the current and the
+	// previous grid epoch. Requests ride the serial transmit path, so the
+	// counts are deterministic.
 	reqEpoch uint64
 	reqCount int
 	prevReq  int
 
-	// per-shard arenas for RebuildAll: each shard gets its own Within
-	// scratch buffer and build counter so the fan-out shares nothing but
-	// the (read-only) grid and the disjoint hood slots it owns.
-	shardScratch [][]int32
-	shardBuilds  []uint64
+	mode       EagerMode
+	sweepEpoch uint64 // last epoch RebuildSweep ran; repeat sweeps are no-ops
+
+	// sweep holds the per-shard pair arenas: each shard discovers pairs in
+	// its own cell stripe into its own buffers, sharing nothing but the
+	// read-only snapshot, and the serial scatter drains them in shard
+	// order. Backing arrays persist across epochs so steady-state sweeps
+	// do not allocate.
+	sweep []sweepShard
+}
+
+// sweepShard is one shard's pair buffer: parallel arrays of endpoint node
+// IDs, pair distance, and the batched link budget at that distance.
+type sweepShard struct {
+	a, b []int32
+	d    []float64
+	loss []float64
 }
 
 // hood is one node's cached neighborhood. epoch 0 means never built
@@ -85,14 +132,36 @@ type hood struct {
 	req   uint64
 }
 
+// EagerMode overrides the sweep-vs-lazy policy; see SetEagerMode.
+type EagerMode int
+
+const (
+	// EagerAuto (the default) weighs previous-epoch demand against the
+	// population size; see SweepWorthwhile.
+	EagerAuto EagerMode = iota
+	// EagerAlways sweeps every epoch regardless of demand.
+	EagerAlways
+	// EagerNever builds every neighborhood lazily.
+	EagerNever
+)
+
 // NewCache returns a cache over the given index and propagation model.
 func NewCache(grid *spatial.Grid, model channel.Model) *Cache {
 	c := &Cache{grid: grid, model: model}
 	if pre, ok := model.(channel.Precomputed); ok {
 		c.pre = pre
 	}
+	if batch, ok := model.(channel.BatchPrecomputed); ok {
+		c.batch = batch
+	}
 	return c
 }
+
+// SetEagerMode forces the sweep-vs-lazy decision. Both paths build
+// identical neighborhoods, so the mode never changes simulation output —
+// only where the rebuild cost is paid. Tests use it to drive full runs
+// down one path; production worlds leave EagerAuto.
+func (c *Cache) SetEagerMode(m EagerMode) { c.mode = m }
 
 // Links returns the candidate receiver list for a transmission from id,
 // rebuilding it only if the grid changed since it was last built. A node
@@ -118,61 +187,117 @@ func (c *Cache) Links(id int32) []Link {
 	}
 	if h.epoch != e {
 		c.builds++
-		c.rebuildInto(id, h, &c.scratch)
+		c.rebuildInto(id, h)
 		h.epoch = e
 	}
 	return h.links
 }
 
-// rebuildInto recomputes one node's neighborhood from the grid into the
-// given Within scratch buffer, reusing the backing arrays so steady-state
-// rebuilds do not allocate. It only reads the grid and writes h and
-// scratch, which is what lets RebuildAll run it per shard.
-func (c *Cache) rebuildInto(id int32, h *hood, scratch *[]int32) {
+// rebuildInto recomputes one node's neighborhood by walking the same cell
+// stencil Grid.Within covers, in the same order, fused into a single pass:
+// a counting sweep first sizes the link slice exactly (one allocation per
+// growth instead of an append-doubling chain on every cold rebuild), then
+// the fill sweep reads each candidate's position once.
+func (c *Cache) rebuildInto(id int32, h *hood) {
 	h.links = h.links[:0]
 	pos, ok := c.grid.Position(id)
 	if !ok {
 		return
 	}
-	*scratch = c.grid.Within(pos, c.model.MaxRange(), (*scratch)[:0])
-	for _, rx := range *scratch {
-		if rx == id {
-			continue
+	r := c.model.MaxRange()
+	r2 := r * r
+	minCX, minCY, maxCX, maxCY := c.grid.CellBounds(pos, r)
+	total := 0
+	for cx := minCX; cx <= maxCX; cx++ {
+		for cy := minCY; cy <= maxCY; cy++ {
+			total += len(c.grid.CellList(cx, cy))
 		}
-		rxPos, ok := c.grid.Position(rx)
-		if !ok {
-			// A receiver the grid no longer tracks must be skipped, never
-			// given a reception at a stale or zero position.
-			continue
+	}
+	// total counts the transmitter itself and out-of-range candidates, so
+	// total-1 is a tight upper bound on the neighborhood size.
+	if total > 1 && cap(h.links) < total-1 {
+		h.links = make([]Link, 0, total-1)
+	}
+	for cx := minCX; cx <= maxCX; cx++ {
+		for cy := minCY; cy <= maxCY; cy++ {
+			for _, rx := range c.grid.CellList(cx, cy) {
+				if rx == id {
+					continue
+				}
+				// Cell members are always indexed, so the unchecked read
+				// is safe.
+				rxPos := c.grid.At(rx)
+				if rxPos.DistSq(pos) > r2 {
+					continue
+				}
+				d := rxPos.Dist(pos)
+				lk := Link{To: rx, Dist: d}
+				if c.pre != nil {
+					lk.Loss = c.pre.PathLoss(d)
+				}
+				h.links = append(h.links, lk)
+			}
 		}
-		d := rxPos.Dist(pos)
-		lk := Link{To: rx, Dist: d}
-		if c.pre != nil {
-			lk.Loss = c.pre.PathLoss(d)
-		}
-		h.links = append(h.links, lk)
 	}
 }
 
 // PrevEpochUse returns how many distinct transmitters requested their
 // neighborhood during the previous grid epoch — the demand signal the
-// world's eager-rebuild heuristic weighs against the cost of prefetching
-// every active node's neighborhood.
+// world's eager-sweep heuristic weighs against the cost of rebuilding
+// every neighborhood at once.
 func (c *Cache) PrevEpochUse() int { return c.prevReq }
 
-// RebuildAll eagerly rebuilds the neighborhoods of the given ids for the
-// current epoch, fanning the per-transmitter work out over the pool into
-// per-shard scratch arenas. It is a pure prefetch: each neighborhood is
-// the exact list the lazy path would build on first use (rebuildInto is a
-// pure function of the grid), so transmissions — and with them every
-// golden output — are unaffected; only the wall-clock place the rebuild
-// cost is paid moves, from the serial transmit path onto the shards. IDs
-// already fresh for the epoch are skipped; duplicate ids must not be
-// passed (two shards would race on one hood).
-func (c *Cache) RebuildAll(pool *par.Pool, ids []int32) {
-	n := pool.Shards()
-	var maxID int32 = -1
-	for _, id := range ids {
+// SweepWorthwhile reports whether the world should run RebuildSweep for
+// the current epoch instead of letting neighborhoods build lazily, given
+// the active population and the pool's shard count. The auto policy sweeps
+// when the previous epoch's demand, amortized by the sweep's fan-out
+// across shards, covers the population: demand·shards ≥ actives. Serially
+// that means full saturation — every active transmitted last epoch — the
+// one regime where halved pair math beats lazy even though demand is a
+// one-epoch-stale predictor; bursty flooding and idle worlds stay lazy,
+// where untransmitting nodes never pay anything. Sharded worlds engage
+// earlier because pair discovery spreads over the pool while lazy
+// rebuilds ride the serial event path.
+func (c *Cache) SweepWorthwhile(actives, shards int) bool {
+	switch c.mode {
+	case EagerAlways:
+		return actives > 0
+	case EagerNever:
+		return false
+	}
+	if actives == 0 {
+		return false
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return c.prevReq*shards >= actives
+}
+
+// RebuildSweep eagerly rebuilds every grid member's neighborhood for the
+// current epoch in one symmetric pass over the CSR snapshot: each
+// unordered pair of in-range cells is visited by exactly one shard (the
+// one owning the lower-ranked cell), each in-range node pair's distance
+// and link budget are computed once, and the serial scatter appends the
+// link into both endpoints' hoods. Scattering the per-shard buffers in
+// shard order replays the exact serial enumeration order, which in turn
+// reproduces Grid.Within's candidate order in every hood (see the package
+// comment), so the sweep is a pure prefetch: transmissions — and with
+// them every golden output — are unaffected at any shard count. Nodes the
+// grid does not track are left to the lazy path, which rebuilds them
+// empty on first use.
+func (c *Cache) RebuildSweep(pool *par.Pool) {
+	e := c.grid.Epoch()
+	if c.sweepEpoch == e {
+		return // the epoch's geometry is already swept; hoods are fresh
+	}
+	snap := c.grid.Snapshot()
+	if len(snap.IDs) == 0 {
+		return
+	}
+	c.sweepEpoch = e
+	maxID := int32(-1)
+	for _, id := range snap.IDs {
 		if id > maxID {
 			maxID = id
 		}
@@ -180,27 +305,90 @@ func (c *Cache) RebuildAll(pool *par.Pool, ids []int32) {
 	for int(maxID) >= len(c.hoods) {
 		c.hoods = append(c.hoods, hood{})
 	}
-	for len(c.shardScratch) < n {
-		c.shardScratch = append(c.shardScratch, nil)
-		c.shardBuilds = append(c.shardBuilds, 0)
+	for _, id := range snap.IDs {
+		h := &c.hoods[id]
+		h.links = h.links[:0]
+		h.epoch = e
 	}
-	e := c.grid.Epoch()
+	n := pool.Shards()
+	for len(c.sweep) < n {
+		c.sweep = append(c.sweep, sweepShard{})
+	}
+	r := c.model.MaxRange()
+	r2 := r * r
+	reach := int32(math.Ceil(r / c.grid.CellSize()))
+	cells := snap.Cells
 	pool.Run(func(shard int) {
-		lo, hi := pool.Range(len(ids), shard)
-		var builds uint64
-		for _, id := range ids[lo:hi] {
-			h := &c.hoods[id]
-			if h.epoch == e {
-				continue
+		sh := &c.sweep[shard]
+		sh.a, sh.b, sh.d = sh.a[:0], sh.b[:0], sh.d[:0]
+		lo, hi := pool.Range(len(cells), shard)
+		for ai := lo; ai < hi; ai++ {
+			ca := cells[ai]
+			// in-cell pairs, i < j in list order
+			for i := ca.Start; i < ca.End; i++ {
+				pi := snap.Pos[i]
+				for j := i + 1; j < ca.End; j++ {
+					if snap.Pos[j].DistSq(pi) <= r2 {
+						sh.a = append(sh.a, snap.IDs[i])
+						sh.b = append(sh.b, snap.IDs[j])
+						sh.d = append(sh.d, snap.Pos[j].Dist(pi))
+					}
+				}
 			}
-			c.rebuildInto(id, h, &c.shardScratch[shard])
-			h.epoch = e
-			builds++
+			// forward cells in the same row: contiguous right after ai
+			for bi := ai + 1; bi < len(cells) && cells[bi].CX == ca.CX && cells[bi].CY <= ca.CY+reach; bi++ {
+				sh.pairCells(snap, ca, cells[bi], r2)
+			}
+			// forward rows: binary-search each row's window start
+			for dcx := int32(1); dcx <= reach; dcx++ {
+				for bi := snap.Search(ca.CX+dcx, ca.CY-reach); bi < len(cells) && cells[bi].CX == ca.CX+dcx && cells[bi].CY <= ca.CY+reach; bi++ {
+					sh.pairCells(snap, ca, cells[bi], r2)
+				}
+			}
 		}
-		c.shardBuilds[shard] = builds
+		// link budget for the shard's pairs, batched when the model can
+		if cap(sh.loss) < len(sh.d) {
+			sh.loss = make([]float64, len(sh.d))
+		}
+		sh.loss = sh.loss[:len(sh.d)]
+		switch {
+		case c.batch != nil:
+			c.batch.PathLossInto(sh.loss, sh.d)
+		case c.pre != nil:
+			for k, d := range sh.d {
+				sh.loss[k] = c.pre.PathLoss(d)
+			}
+		default:
+			clear(sh.loss)
+		}
 	})
-	for _, b := range c.shardBuilds[:n] {
-		c.builds += b
+	for s := 0; s < n; s++ {
+		sh := &c.sweep[s]
+		for k := range sh.a {
+			i, j := sh.a[k], sh.b[k]
+			d, ls := sh.d[k], sh.loss[k]
+			hi := &c.hoods[i]
+			hi.links = append(hi.links, Link{To: j, Dist: d, Loss: ls})
+			hj := &c.hoods[j]
+			hj.links = append(hj.links, Link{To: i, Dist: d, Loss: ls})
+		}
+	}
+	c.builds += uint64(len(snap.IDs))
+}
+
+// pairCells emits every in-range pair between two distinct cells: outer
+// loop over ca's members, inner over cb's, so each hood receives its
+// contributions from the other cell in that cell's list order.
+func (sh *sweepShard) pairCells(snap *spatial.Snapshot, ca, cb spatial.CellSpan, r2 float64) {
+	for i := ca.Start; i < ca.End; i++ {
+		pi := snap.Pos[i]
+		for j := cb.Start; j < cb.End; j++ {
+			if snap.Pos[j].DistSq(pi) <= r2 {
+				sh.a = append(sh.a, snap.IDs[i])
+				sh.b = append(sh.b, snap.IDs[j])
+				sh.d = append(sh.d, snap.Pos[j].Dist(pi))
+			}
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ package spatial
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/vanetlab/relroute/internal/digest"
@@ -21,7 +22,8 @@ type Grid struct {
 	pos   []geom.Vec2 // indexed by id; valid iff present[id]
 	in    []bool      // present[id]: id is indexed
 	count int
-	epoch uint64 // advances on every geometric change; see Epoch
+	epoch uint64    // advances on every geometric change; see Epoch
+	snap  *Snapshot // per-epoch CSR view, built on demand; see Snapshot
 }
 
 type cellKey struct{ cx, cy int32 }
@@ -247,25 +249,203 @@ func (g *Grid) Within(p geom.Vec2, r float64, dst []int32) []int32 {
 	return dst
 }
 
+// CellBounds returns the inclusive cell-coordinate rectangle covering the
+// axis-aligned square of half-width r around p — the stencil Within
+// iterates. Bulk callers (the radio cache) use it to walk the same cells
+// with CellList instead of paying Within's scratch-slice round trip.
+func (g *Grid) CellBounds(p geom.Vec2, r float64) (minCX, minCY, maxCX, maxCY int32) {
+	minK := g.key(geom.V(p.X-r, p.Y-r))
+	maxK := g.key(geom.V(p.X+r, p.Y+r))
+	return minK.cx, minK.cy, maxK.cx, maxK.cy
+}
+
+// CellList returns one cell's member list in list order (the order Within
+// visits it). The slice is owned by the grid and valid only until the next
+// mutation; callers must not retain or modify it. An empty cell returns nil.
+func (g *Grid) CellList(cx, cy int32) []int32 { return g.cells[cellKey{cx, cy}] }
+
+// At returns the indexed position of an item known to be present — ids
+// obtained from CellList or a Snapshot. Unlike Position it skips the
+// presence check; passing an id that is not indexed returns garbage.
+func (g *Grid) At(id int32) geom.Vec2 { return g.pos[id] }
+
+// CellSpan is one occupied cell of a Snapshot: its coordinates and the
+// half-open [Start, End) window of the snapshot's IDs/Pos arrays holding
+// its members, in cell list order.
+type CellSpan struct {
+	CX, CY     int32
+	Start, End int32
+}
+
+// Snapshot is a CSR (compressed sparse row) view of the grid frozen at one
+// epoch: every occupied cell sorted by (CX, CY), with member IDs and their
+// positions packed contiguously per cell. Bulk sweeps iterate it with
+// sequential loads instead of hashing cellKey maps per stencil cell, and
+// binary-search cell lookup replaces map probes.
+//
+// The fields are owned by the grid and read-only to callers; they are valid
+// until the grid's next geometric change. Min/Max bound the occupied cell
+// rectangle (meaningful only when Cells is non-empty).
+type Snapshot struct {
+	Epoch uint64
+	Cells []CellSpan
+	IDs   []int32
+	Pos   []geom.Vec2
+
+	MinCX, MaxCX, MinCY, MaxCY int32
+}
+
+// Search returns the index of the first cell with key >= (cx, cy) in the
+// snapshot's (CX, CY) order, or len(Cells) if no such cell exists.
+func (s *Snapshot) Search(cx, cy int32) int {
+	lo, hi := 0, len(s.Cells)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c := &s.Cells[mid]
+		if c.CX < cx || (c.CX == cx && c.CY < cy) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Snapshot returns the CSR view of the grid at the current epoch, building
+// it on first use per epoch in O(n + cells·log cells) and memoizing it —
+// repeat calls within an epoch are one comparison. The backing arrays are
+// reused across epochs, so steady-state rebuilds do not allocate. Serial
+// only (it mutates the memo); the returned value may then be read from
+// concurrent shards as long as no grid mutation overlaps.
+func (g *Grid) Snapshot() *Snapshot {
+	s := g.snap
+	if s == nil {
+		s = &Snapshot{}
+		g.snap = s
+	}
+	if s.Epoch == g.epoch {
+		return s
+	}
+	s.Cells = s.Cells[:0]
+	s.IDs = s.IDs[:0]
+	s.Pos = s.Pos[:0]
+	for k := range g.cells {
+		s.Cells = append(s.Cells, CellSpan{CX: k.cx, CY: k.cy})
+	}
+	slices.SortFunc(s.Cells, func(a, b CellSpan) int {
+		if a.CX != b.CX {
+			if a.CX < b.CX {
+				return -1
+			}
+			return 1
+		}
+		if a.CY != b.CY {
+			if a.CY < b.CY {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		c.Start = int32(len(s.IDs))
+		for _, id := range g.cells[cellKey{c.CX, c.CY}] {
+			s.IDs = append(s.IDs, id)
+			s.Pos = append(s.Pos, g.pos[id])
+		}
+		c.End = int32(len(s.IDs))
+		if i == 0 {
+			s.MinCX, s.MaxCX = c.CX, c.CX
+			s.MinCY, s.MaxCY = c.CY, c.CY
+			continue
+		}
+		s.MaxCX = c.CX // cells are CX-sorted
+		if c.CY < s.MinCY {
+			s.MinCY = c.CY
+		}
+		if c.CY > s.MaxCY {
+			s.MaxCY = c.CY
+		}
+	}
+	s.Epoch = g.epoch
+	return s
+}
+
 // Nearest returns the indexed item closest to p, excluding the item with id
 // skip (pass a negative value to exclude nothing). ok is false when the
 // index is empty or holds only the skipped item. Ties break toward the
 // lowest ID (deterministic, unlike map iteration).
+//
+// The search expands cell rings outward from p's cell over the CSR
+// snapshot, stopping once no farther ring can beat the best candidate — a
+// point in a cell at Chebyshev ring distance k is at least (k-1) cell
+// widths away from p. Cost is O(rings visited) after the per-epoch
+// snapshot build, instead of a scan over every dense slot (including
+// tombstones) per call.
 func (g *Grid) Nearest(p geom.Vec2, skip int32) (id int32, dist float64, ok bool) {
+	if g.count == 0 {
+		return 0, 0, false
+	}
+	s := g.Snapshot()
+	ck := g.key(p)
+	maxRing := max(
+		absDelta(s.MinCX, ck.cx), absDelta(s.MaxCX, ck.cx),
+		absDelta(s.MinCY, ck.cy), absDelta(s.MaxCY, ck.cy),
+	)
 	best := int32(-1)
 	bestD2 := math.Inf(1)
-	for i := range g.pos {
-		if !g.in[i] || int32(i) == skip {
+	for ring := int32(0); ring <= maxRing; ring++ {
+		if best >= 0 {
+			// Not strict: a ring at exactly bestD2 could still hold an
+			// equal-distance item with a lower ID, so only break when the
+			// ring's floor distance is strictly worse.
+			if lo := float64(ring-1) * g.cell; lo > 0 && lo*lo > bestD2 {
+				break
+			}
+		}
+		if ring == 0 {
+			s.scanRow(p, ck.cx, ck.cy, ck.cy, skip, &best, &bestD2)
 			continue
 		}
-		d2 := g.pos[i].DistSq(p)
-		if d2 < bestD2 {
-			bestD2 = d2
-			best = int32(i)
+		s.scanRow(p, ck.cx-ring, ck.cy-ring, ck.cy+ring, skip, &best, &bestD2)
+		for cx := ck.cx - ring + 1; cx <= ck.cx+ring-1; cx++ {
+			s.scanRow(p, cx, ck.cy-ring, ck.cy-ring, skip, &best, &bestD2)
+			s.scanRow(p, cx, ck.cy+ring, ck.cy+ring, skip, &best, &bestD2)
 		}
+		s.scanRow(p, ck.cx+ring, ck.cy-ring, ck.cy+ring, skip, &best, &bestD2)
 	}
 	if best < 0 {
 		return 0, 0, false
 	}
 	return best, math.Sqrt(bestD2), true
+}
+
+func absDelta(a, b int32) int32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// scanRow folds the members of cells (cx, cyLo..cyHi) into the running
+// nearest candidate: strictly closer wins, equal distance breaks to the
+// lower ID.
+func (s *Snapshot) scanRow(p geom.Vec2, cx, cyLo, cyHi, skip int32, best *int32, bestD2 *float64) {
+	for i := s.Search(cx, cyLo); i < len(s.Cells); i++ {
+		c := &s.Cells[i]
+		if c.CX != cx || c.CY > cyHi {
+			return
+		}
+		for k := c.Start; k < c.End; k++ {
+			id := s.IDs[k]
+			if id == skip {
+				continue
+			}
+			d2 := s.Pos[k].DistSq(p)
+			if d2 < *bestD2 || (d2 == *bestD2 && id < *best) {
+				*bestD2, *best = d2, id
+			}
+		}
+	}
 }
