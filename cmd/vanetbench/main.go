@@ -327,18 +327,22 @@ func runSweep(args []string) error {
 // over seeds. The churn fields are populated by -churn: the same cell run
 // as an open world with Poisson arrivals and lifetime-bounded departures.
 type scaleCell struct {
-	Vehicles    int     `json:"vehicles"`
-	DensityKm   float64 `json:"density_veh_per_km"`
-	LengthM     float64 `json:"highway_length_m"`
-	Seeds       int     `json:"seeds"`
-	Shards      int     `json:"shards"`
-	MeanMs      float64 `json:"mean_ms"`
-	MinMs       float64 `json:"min_ms"`
-	PDR         float64 `json:"pdr"`
-	ChurnMeanMs float64 `json:"churn_mean_ms,omitempty"`
-	ChurnPDR    float64 `json:"churn_pdr,omitempty"`
-	ChurnJoins  float64 `json:"churn_joins,omitempty"`
-	ChurnLeaves float64 `json:"churn_leaves,omitempty"`
+	Vehicles  int     `json:"vehicles"`
+	DensityKm float64 `json:"density_veh_per_km"`
+	LengthM   float64 `json:"highway_length_m"`
+	Seeds     int     `json:"seeds"`
+	Shards    int     `json:"shards"`
+	MeanMs    float64 `json:"mean_ms"`
+	MinMs     float64 `json:"min_ms"`
+	// EventsPerSec is simulator throughput: executed engine events per
+	// wall-clock second, averaged over seeds — the scheduling-plane figure
+	// that stays comparable when scenario geometry changes ms/run.
+	EventsPerSec float64 `json:"events_per_sec"`
+	PDR          float64 `json:"pdr"`
+	ChurnMeanMs  float64 `json:"churn_mean_ms,omitempty"`
+	ChurnPDR     float64 `json:"churn_pdr,omitempty"`
+	ChurnJoins   float64 `json:"churn_joins,omitempty"`
+	ChurnLeaves  float64 `json:"churn_leaves,omitempty"`
 }
 
 // scaleReport is the -json document CI archives next to BENCH_core.json.
@@ -406,7 +410,7 @@ func runScale(args []string) error {
 		*shards = 1
 	}
 	rep := scaleReport{Protocol: *protocol, Duration: *duration}
-	columns := []string{"vehicles", "veh/km", "length(m)", "shards", "mean ms/run", "min ms/run", "PDR"}
+	columns := []string{"vehicles", "veh/km", "length(m)", "shards", "mean ms/run", "min ms/run", "events/s", "PDR"}
 	if *churn {
 		columns = append(columns, "churn ms/run", "churn PDR", "joins/leaves")
 	}
@@ -434,9 +438,11 @@ func runScale(args []string) error {
 				ms := float64(time.Since(t0)) / float64(time.Millisecond)
 				cell.MeanMs += ms
 				cell.MinMs = math.Min(cell.MinMs, ms)
+				cell.EventsPerSec += float64(sum.Events) / (ms / 1000)
 				pdrSum += sum.PDR
 			}
 			cell.MeanMs /= float64(*seeds)
+			cell.EventsPerSec /= float64(*seeds)
 			cell.PDR = pdrSum / float64(*seeds)
 			if *churn {
 				var churnPDR, joins, leaves float64
@@ -472,6 +478,7 @@ func runScale(args []string) error {
 				strconv.Itoa(cell.Shards),
 				fmt.Sprintf("%.1f", cell.MeanMs),
 				fmt.Sprintf("%.1f", cell.MinMs),
+				fmt.Sprintf("%.0f", cell.EventsPerSec),
 				fmt.Sprintf("%.1f%%", cell.PDR*100),
 			}
 			if *churn {

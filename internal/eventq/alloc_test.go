@@ -23,6 +23,93 @@ func TestSchedulePopAllocFree(t *testing.T) {
 	}
 }
 
+// warmCalendar drives q through enough schedule/pop churn (at ascending
+// times spaced like a beacon workload) that the calendar layer builds and
+// its geometry settles. It fails the test if the calendar never engages.
+func warmCalendar(t *testing.T, q *Queue, pending int) float64 {
+	t.Helper()
+	fn := func() {}
+	at := 0.0
+	for i := 0; i < pending; i++ {
+		q.Schedule(at, fn)
+		at++
+	}
+	for i := 0; i < 2*calMinGaps+pending; i++ {
+		q.Schedule(at, fn)
+		at++
+		q.Pop()
+	}
+	if q.width == 0 {
+		t.Fatal("calendar never engaged during warm-up")
+	}
+	return at
+}
+
+// TestCalendarSchedulePopAllocFree pins the steady-state allocation
+// behaviour of the calendar layout specifically: once built, Schedule+Pop
+// cycles recycle bucket entries and slots without touching the allocator.
+func TestCalendarSchedulePopAllocFree(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	at := warmCalendar(t, &q, 512)
+	allocs := testing.AllocsPerRun(2000, func() {
+		q.Schedule(at, fn)
+		at++
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("calendar Schedule+Pop allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+	if q.width == 0 {
+		t.Fatal("calendar tore down mid-measurement")
+	}
+}
+
+// TestCalendarScheduleCancelAllocFree is the cancel-path pin for the
+// calendar layout: armed-then-disarmed timers recycle through the bucket
+// scan without allocating.
+func TestCalendarScheduleCancelAllocFree(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	at := warmCalendar(t, &q, 512)
+	allocs := testing.AllocsPerRun(2000, func() {
+		id := q.Schedule(at, fn)
+		at++
+		q.Cancel(id)
+		q.Schedule(at, fn) // keep the queue populated
+		at++
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("calendar Schedule+Cancel allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestForceHeapSchedulePopAllocFree pins the heap-only layout (the
+// ForceHeap escape hatch used by layout-invariance fixtures) to the same
+// zero-alloc contract.
+func TestForceHeapSchedulePopAllocFree(t *testing.T) {
+	defer func(prev bool) { ForceHeap = prev }(ForceHeap)
+	ForceHeap = true
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 512; i++ {
+		q.Schedule(float64(i), fn)
+	}
+	at := 512.0
+	allocs := testing.AllocsPerRun(2000, func() {
+		q.Schedule(at, fn)
+		at++
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("ForceHeap Schedule+Pop allocates %.1f objects/op, want 0", allocs)
+	}
+	if q.width != 0 {
+		t.Fatal("ForceHeap queue built a calendar")
+	}
+}
+
 func TestScheduleCancelAllocFree(t *testing.T) {
 	var q Queue
 	fn := func() {}

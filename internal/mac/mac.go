@@ -6,11 +6,11 @@
 // on, without modelling full 802.11p EDCA.
 //
 // The layer is allocation-free in steady state: reception records are
-// pooled, end-of-airtime events reuse one pre-bound callback per node
-// (instead of a fresh closure per receiver per frame), per-node state
-// lives in a dense slice keyed by node ID, and transmit queues are ring
-// buffers. The simulation engine is single-threaded, so the free lists
-// need no synchronisation.
+// plain values in a reused per-sender slice, end-of-airtime events reuse
+// one pre-bound callback per node (instead of a fresh closure per receiver
+// per frame), per-node state lives in a dense slice keyed by node ID, and
+// transmit queues are ring buffers. The simulation engine is
+// single-threaded, so none of it needs synchronisation.
 //
 // The transmit path is amortized over mobility epochs: candidate
 // receivers, their distances, and the deterministic part of the link
@@ -18,6 +18,27 @@
 // scan, and a frame's receptions are resolved by one end-of-airtime event
 // at the sender instead of one event per receiver. Both transformations
 // are exactly order-preserving — see transmit and finishTx.
+//
+// Carrier sense and collision marking are O(1) per reception: instead of
+// a per-node list of in-flight reception records that every arrival scans
+// and every resolution compacts, each node keeps a tiny arrival history —
+// the latest airtime end plus the last two distinct arrival instants with
+// their multiplicities. Because a reception is destroyed exactly when
+// another frame's energy overlaps it at the same receiver, the verdict at
+// its end time e for a frame that arrived at s reduces to: was anything
+// still on the air at s (recorded at arrival), or did any arrival land in
+// [s, e) afterwards — which only ever needs the two most recent distinct
+// arrival times, since the query always runs at e = now. See transmit and
+// finishTx for the exact equivalence argument.
+//
+// Reception work is split into a serial RNG lane and a fan-out stage:
+// every stochastic draw (channel decodability, fault-plane loss) happens
+// serially in candidate order — the draw-order contract pinned by
+// TestRNGDrawOrderContract — and only then does the draw-free per-receiver
+// bookkeeping (carrier sense, collision marking) fan out across the
+// intra-run worker pool; each candidate receiver appears exactly once per
+// frame, so shards touch disjoint node states and the result is
+// byte-identical at every shard count.
 package mac
 
 import (
@@ -25,6 +46,7 @@ import (
 
 	"github.com/vanetlab/relroute/internal/digest"
 	"github.com/vanetlab/relroute/internal/metrics"
+	"github.com/vanetlab/relroute/internal/par"
 	"github.com/vanetlab/relroute/internal/radio"
 	"github.com/vanetlab/relroute/internal/sim"
 )
@@ -99,14 +121,15 @@ func (c Config) linkRetries() int {
 	return c.LinkRetries
 }
 
-// reception tracks one in-flight frame arriving at one receiver. Records
-// are pooled by the layer. The sender keeps the frame and the receiver
-// list, so a record only carries what carrier sense and collision marking
-// need: when the airtime ends and how the channel treated it.
-type reception struct {
-	end      float64
-	decoded  bool // channel draw said the frame is decodable
-	collided bool
+// txRec is one in-flight reception of the sender's current frame, in
+// candidate (neighborhood) order. decoded carries the serial RNG lane's
+// channel verdict; collAtArr records whether anything was already on the
+// air at this receiver when the frame arrived. Plain values in a reused
+// per-sender slice — nothing is pooled or pointer-chased per frame.
+type txRec struct {
+	rx        int32
+	decoded   bool // channel draw said the frame is decodable
+	collAtArr bool // receiver was mid-reception when this frame arrived
 }
 
 // frameDeque is a ring-buffer queue of frames with O(1) push-front, so ARQ
@@ -157,27 +180,32 @@ func (d *frameDeque) popFront() Frame {
 	return f
 }
 
-// txRec pairs an in-flight reception with its receiver, in creation order,
-// so the sender's single end-of-airtime event can resolve the whole frame.
-type txRec struct {
-	rx  int32
-	rec *reception
-}
-
 // nodeState is the per-node MAC state.
 type nodeState struct {
 	queue   frameDeque
 	sending bool
-	txUntil float64      // sender busy until (own transmission)
-	active  []*reception // receptions currently audible at this node (carrier sense)
+	txUntil float64 // sender busy until (own transmission)
 	retries int
+
+	// Arrival history — the O(1) carrier-sense state. maxEnd is the
+	// latest airtime end over every reception that ever arrived here (an
+	// unresolved reception exists iff maxEnd > now, since resolution fires
+	// exactly at the end instant). (t1, c1) is the latest distinct arrival
+	// instant and how many receptions arrived at it; (t0, c0) the previous
+	// distinct instant. Two suffice: collision queries always run at a
+	// resolving frame's end e = now, so the only arrivals that matter are
+	// the latest one strictly before e — which is t1, or t0 when t1 == e.
+	maxEnd float64
+	t1, t0 float64
+	c1, c0 int32
 
 	// in-flight transmission state; a node transmits one frame at a time
 	// (sending serialises), so it lives here instead of in a closure.
 	txFrame      Frame
-	txRecs       []txRec    // this frame's receptions, in creation order
-	txUnicastRec *reception // addressed receiver's reception, until resolved
-	txUnicastOK  bool       // outcome copied at reception resolution
+	txStart      float64 // arrival instant of the in-flight frame
+	txRecs       []txRec // this frame's receptions, in candidate order
+	txUnicastIdx int     // index into txRecs of the addressed receiver, or -1
+	txUnicastOK  bool    // outcome copied at reception resolution
 
 	// pre-bound engine callbacks, created once per node
 	attemptFn  func()
@@ -196,7 +224,10 @@ type Layer struct {
 	fail    func(from int32, f Frame)
 	done    func(f Frame)
 	nodes   []*nodeState // dense, keyed by node id
-	recFree []*reception
+	// pool fans the draw-free per-receiver reception bookkeeping of large
+	// frames across shards (see transmit). par.Seq by default; the network
+	// stack installs its intra-run pool for the duration of a run.
+	pool *par.Pool
 	// linkFault, when set, returns an extra loss probability the fault
 	// plane imposes on the (from, to) link right now: 0 is a clean link,
 	// ≥1 severs it outright, anything between draws one extra uniform.
@@ -214,7 +245,20 @@ func NewLayer(eng *sim.Engine, rc *radio.Cache, cfg Config, col *metrics.Collect
 	return &Layer{
 		eng: eng, radio: rc, cfg: cfg,
 		rng: eng.Rand(), col: col, deliver: deliver, fail: fail,
+		pool: par.Seq,
 	}
+}
+
+// SetPool installs the worker pool the reception fan-out stage runs on,
+// or par.Seq (the default) to keep everything inline. The sharded stage
+// is draw-free and touches each receiver exactly once per frame, so the
+// simulation is byte-identical at every pool size; callers that close
+// their pool must reset the layer to par.Seq first.
+func (l *Layer) SetPool(p *par.Pool) {
+	if p == nil {
+		p = par.Seq
+	}
+	l.pool = p
 }
 
 // SetLinkFault installs the fault plane's per-link loss hook. The RNG
@@ -239,9 +283,9 @@ func (l *Layer) Flush(id int32) {
 	}
 	st.retries = 0
 	// Pretend the in-flight unicast (if any) succeeded: finishTx then
-	// neither re-queues it nor raises the fail upcall, and the dangling
-	// record pointer is cleared so resolveReception can't write back.
-	st.txUnicastRec = nil
+	// neither re-queues it nor raises the fail upcall, and the record
+	// index is cleared so the resolve loop can't write the outcome back.
+	st.txUnicastIdx = -1
 	st.txUnicastOK = true
 }
 
@@ -267,33 +311,12 @@ func (l *Layer) state(id int32) *nodeState {
 	}
 	st := l.nodes[id]
 	if st == nil {
-		st = &nodeState{}
+		st = &nodeState{txUnicastIdx: -1}
 		st.attemptFn = func() { l.attempt(id) }
 		st.finishTxFn = func() { l.finishTx(id) }
 		l.nodes[id] = st
 	}
 	return st
-}
-
-// newReception takes a record from the pool.
-func (l *Layer) newReception(end float64, decoded bool) *reception {
-	var rec *reception
-	if n := len(l.recFree); n > 0 {
-		rec = l.recFree[n-1]
-		l.recFree = l.recFree[:n-1]
-	} else {
-		rec = &reception{}
-	}
-	*rec = reception{end: end, decoded: decoded}
-	return rec
-}
-
-// releaseReception returns a resolved record to the pool. No reference may
-// outlive this call: the record is removed from the receiver's
-// carrier-sense list and the sender's ARQ outcome has been copied out
-// before release.
-func (l *Layer) releaseReception(rec *reception) {
-	l.recFree = append(l.recFree, rec)
 }
 
 // Send enqueues a frame for transmission from frame.From. Frames beyond the
@@ -352,41 +375,51 @@ func (l *Layer) attempt(id int32) {
 }
 
 // mediumBusy reports whether the node senses ongoing traffic: its own
-// transmission or any audible reception. Entries whose airtime ends at
-// exactly now do not count as busy; they are removed by their frame's
-// resolution event at this same instant, so the active list never needs
-// compaction here — every reception leaves it at its end time.
+// transmission or any audible reception. Airtimes ending at exactly now
+// do not count as busy — their frames resolve at this same instant. A
+// reception is unresolved iff its end lies in the future, so the whole
+// carrier-sense question collapses to one comparison against the
+// arrival history's high-water end.
 func (l *Layer) mediumBusy(st *nodeState) bool {
 	now := l.eng.Now()
-	if st.txUntil > now {
-		return true
-	}
-	for _, r := range st.active {
-		if r.end > now {
-			return true
-		}
-	}
-	return false
+	return st.txUntil > now || st.maxEnd > now
 }
 
+// fanMin is the candidate count below which the reception fan-out stays
+// inline: the per-receiver bookkeeping is a handful of stores, so small
+// neighborhoods never amortize a pool barrier.
+const fanMin = 32
+
 // transmit puts the frame on the air: for every candidate receiver in the
-// sender's cached neighborhood the frame becomes an active reception; when
-// the airtime ends, it is delivered unless a concurrent reception collided
-// with it.
+// sender's cached neighborhood the frame becomes an in-flight reception
+// record; when the airtime ends, one event at the sender resolves them
+// all.
 //
 // The per-frame cost is one cached-slice walk: the radio.Cache already
 // holds the receiver IDs, distances, and deterministic link budgets for
 // the current mobility epoch, so no grid scan, position lookup, or
-// path-loss math runs here. The channel draw per receiver happens in
-// neighborhood order — identical to the order the uncached grid scan
-// produced — which keeps every RNG stream byte-identical.
+// path-loss math runs here.
+//
+// The walk is split into the serial RNG lane and the fan-out stage. The
+// lane makes every stochastic draw — channel decodability, then the
+// optional fault-plane loss — in neighborhood order, identical to the
+// order the uncached grid scan produced, which keeps every RNG stream
+// byte-identical; it also pre-creates receiver states, so the fan-out
+// never mutates the dense node table. The fan-out then updates each
+// receiver's arrival history: collAtArr is whether anything was still on
+// the air when this frame arrived (maxEnd beyond now, recorded before
+// folding in our own end), and the (t1,c1)/(t0,c0) pair shifts exactly
+// when a new distinct arrival instant appears. Each receiver appears once
+// per frame, so shards write disjoint states and the values are
+// independent of the shard layout.
 func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 	now := l.eng.Now()
 	airtime := float64(f.Size*8) / l.cfg.bitRate()
 	end := now + airtime
 	st.txUntil = end
 	st.txFrame = f
-	st.txUnicastRec = nil
+	st.txStart = now
+	st.txUnicastIdx = -1
 	st.txUnicastOK = false
 	l.col.MACTransmits++
 
@@ -394,9 +427,11 @@ func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 	// size the reception record list once: an append-doubling chain per
 	// cold transmit is pure GC pressure at city density
 	if cap(st.txRecs) < len(links) {
-		st.txRecs = make([]txRec, 0, len(links))
+		st.txRecs = make([]txRec, len(links))
 	}
-	for _, lk := range links {
+	st.txRecs = st.txRecs[:len(links)]
+	recs := st.txRecs
+	for i, lk := range links {
 		decoded := l.radio.Decodable(lk, l.rng)
 		if l.linkFault != nil {
 			// Fault losses stack after the channel draw. Only a partial
@@ -410,21 +445,34 @@ func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 				}
 			}
 		}
-		rec := l.newReception(end, decoded)
-		rxState := l.state(lk.To)
-		// any temporal overlap destroys both frames (no capture); entries
-		// ending exactly now don't overlap — they resolve this instant
-		for _, other := range rxState.active {
-			if other.end > now {
-				other.collided = true
-				rec.collided = true
+		recs[i] = txRec{rx: lk.To, decoded: decoded}
+		if f.To == lk.To {
+			st.txUnicastIdx = i
+		}
+		l.state(lk.To) // ensure receiver state before the draw-free fan
+	}
+	mark := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rx := l.nodes[recs[i].rx]
+			recs[i].collAtArr = rx.maxEnd > now
+			if rx.maxEnd < end {
+				rx.maxEnd = end
+			}
+			if rx.t1 == now {
+				rx.c1++
+			} else {
+				rx.t0, rx.c0 = rx.t1, rx.c1
+				rx.t1, rx.c1 = now, 1
 			}
 		}
-		rxState.active = append(rxState.active, rec)
-		st.txRecs = append(st.txRecs, txRec{rx: lk.To, rec: rec})
-		if f.To == lk.To {
-			st.txUnicastRec = rec
-		}
+	}
+	if pool := l.pool; len(recs) >= fanMin {
+		pool.Run(func(shard int) {
+			lo, hi := pool.Range(len(recs), shard)
+			mark(lo, hi)
+		})
+	} else {
+		mark(0, len(recs))
 	}
 	// One event resolves the whole frame: all its receptions end at the
 	// same instant, and the engine fires same-time events in scheduling
@@ -435,19 +483,52 @@ func (l *Layer) transmit(from int32, st *nodeState, f Frame) {
 	l.eng.After(airtime, st.finishTxFn)
 }
 
-// finishTx runs at the sender when its transmission's airtime ends: resolve
-// every reception in creation order, then unicast ARQ, then start the next
-// queued frame.
+// finishTx runs at the sender when its transmission's airtime ends:
+// resolve every reception in creation order, then unicast ARQ, then start
+// the next queued frame.
+//
+// A reception that arrived at s and ends now is collided iff something
+// was on the air at s (collAtArr) or any arrival landed in [s, now) — at
+// exactly s it must be a second one (multiplicity > 1: the record's own
+// arrival is counted too), and arrivals at exactly now never overlap.
+// The receiver's history gives the latest arrival before now directly:
+// t1, unless t1 == now (same-instant arrivals from frames sent earlier
+// this instant), in which case t0 — which can never predate s, because s
+// itself is a distinct arrival instant at this receiver. Arrival
+// histories only change at transmit events and none can run mid-resolve
+// (Send only arms timers), so the verdicts are fixed before the first
+// upcall; computing them up front and then delivering in creation order
+// reproduces the interleaved resolve loop exactly. The serial merge
+// below keeps counters and upcalls in that deterministic order whatever
+// the fan-out's shard layout did.
 func (l *Layer) finishTx(from int32) {
 	st := l.state(from)
 	f := st.txFrame
 	st.txFrame = Frame{} // drop payload reference
+	now := l.eng.Now()
+	start := st.txStart
 	for i, tr := range st.txRecs {
-		l.resolveReception(tr.rx, tr.rec, st, f)
-		st.txRecs[i] = txRec{}
+		rx := l.nodes[tr.rx]
+		t, c := rx.t1, rx.c1
+		if t == now {
+			t, c = rx.t0, rx.c0
+		}
+		collided := tr.collAtArr || t > start || (t == start && c > 1)
+		switch {
+		case collided && tr.decoded:
+			l.col.MACCollisions++
+		case !tr.decoded:
+			l.col.MACChannelLoss++
+		default:
+			l.col.MACDelivered++
+			l.deliver(tr.rx, f)
+		}
+		if i == st.txUnicastIdx {
+			st.txUnicastOK = tr.decoded && !collided
+			st.txUnicastIdx = -1
+		}
 	}
 	st.txRecs = st.txRecs[:0]
-	st.txUnicastRec = nil
 	if f.To != Broadcast && !st.txUnicastOK {
 		if f.attempts < l.cfg.linkRetries() {
 			retry := f
@@ -474,9 +555,11 @@ func (l *Layer) finishTx(from int32) {
 // DigestInto folds the MAC's checkpoint-relevant state into d: for every
 // node in ID order, the transmit queue (frame headers — payloads are
 // process-local pointers re-derived on restore), backoff/ARQ counters,
-// and every audible reception in carrier-sense list order. The MAC runs
-// entirely on the single-threaded event path, so all of this is a
-// deterministic function of the event history at any shard count.
+// the carrier-sense arrival history, and the in-flight frame's reception
+// records in candidate order. The MAC runs entirely on the
+// single-threaded event path and the fan-out stage writes shard-
+// independent values, so all of this is a deterministic function of the
+// event history at any shard count.
 func (l *Layer) DigestInto(d *digest.Writer) {
 	digestFrame := func(f *Frame) {
 		d.U32(uint32(f.From))
@@ -499,44 +582,20 @@ func (l *Layer) DigestInto(d *digest.Writer) {
 		d.Bool(st.sending)
 		d.F64(st.txUntil)
 		d.Int(st.retries)
-		d.Int(len(st.active))
-		for _, r := range st.active {
-			d.F64(r.end)
-			d.Bool(r.decoded)
-			d.Bool(r.collided)
-		}
+		d.F64(st.maxEnd)
+		d.F64(st.t1)
+		d.U32(uint32(st.c1))
+		d.F64(st.t0)
+		d.U32(uint32(st.c0))
 		digestFrame(&st.txFrame)
+		d.F64(st.txStart)
 		d.Int(len(st.txRecs))
-		d.Bool(st.txUnicastRec != nil)
+		for _, tr := range st.txRecs {
+			d.U32(uint32(tr.rx))
+			d.Bool(tr.decoded)
+			d.Bool(tr.collAtArr)
+		}
+		d.Int(st.txUnicastIdx)
 		d.Bool(st.txUnicastOK)
 	}
-}
-
-// resolveReception settles one reception at its end time: remove it from
-// the receiver's carrier-sense set (it may already have been pruned),
-// classify it, deliver on success, and copy the outcome out for the
-// sender's unicast ARQ before the record is recycled.
-func (l *Layer) resolveReception(rx int32, rec *reception, sender *nodeState, f Frame) {
-	st := l.state(rx)
-	for i, r := range st.active {
-		if r == rec {
-			st.active[i] = st.active[len(st.active)-1]
-			st.active = st.active[:len(st.active)-1]
-			break
-		}
-	}
-	switch {
-	case rec.collided && rec.decoded:
-		l.col.MACCollisions++
-	case !rec.decoded:
-		l.col.MACChannelLoss++
-	default:
-		l.col.MACDelivered++
-		l.deliver(rx, f)
-	}
-	if sender.txUnicastRec == rec {
-		sender.txUnicastOK = rec.decoded && !rec.collided
-		sender.txUnicastRec = nil
-	}
-	l.releaseReception(rec)
 }

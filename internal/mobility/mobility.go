@@ -203,6 +203,15 @@ type RoadModel struct {
 	// model draws from it at runtime (one seed per spawned vehicle), so
 	// the checkpoint stream table must cover it.
 	rngSrc *prng.Source
+	// maxVehLen and maxSpeedLimit bound any vehicle's follower safety
+	// envelope Length + speed·1s + 2: lengths are fixed at spawn (the
+	// high-water mark only ever rises) and speeds are clamped to their
+	// segment's limit every integration step. maybeChangeLane uses the sum
+	// to cut the follower safety scan off early; because the bound is
+	// conservative, the truncated scan returns exactly the verdict the
+	// full-list scan would.
+	maxVehLen     float64
+	maxSpeedLimit float64
 }
 
 // ExitPolicy decides what happens when a vehicle reaches the end of its
@@ -222,15 +231,21 @@ func NewRoadModel(net *roadnet.Network, rng *rand.Rand, exit ExitPolicy) *RoadMo
 		exit = ContinueRandom
 	}
 	maxLanes := 1
+	maxLimit := 0.0
 	for s := 0; s < net.Segments(); s++ {
-		if l := net.Segment(roadnet.SegmentID(s)).Lanes; l > maxLanes {
-			maxLanes = l
+		seg := net.Segment(roadnet.SegmentID(s))
+		if seg.Lanes > maxLanes {
+			maxLanes = seg.Lanes
+		}
+		if seg.SpeedLimit > maxLimit {
+			maxLimit = seg.SpeedLimit
 		}
 	}
 	return &RoadModel{
 		net: net, rng: rng, exitP: exit,
-		order:    make([][]*vehicle, net.Segments()*maxLanes),
-		maxLanes: maxLanes,
+		order:         make([][]*vehicle, net.Segments()*maxLanes),
+		maxLanes:      maxLanes,
+		maxSpeedLimit: maxLimit,
 	}
 }
 
@@ -273,6 +288,9 @@ func (m *RoadModel) AddVehicle(seg roadnet.SegmentID, lane int, offset float64, 
 		offset:  math.Mod(math.Abs(offset), math.Max(s.Length(), 1)),
 		speed:   math.Min(params.DesiredSpeed, s.SpeedLimit),
 		rngSeed: m.rng.Int63(),
+	}
+	if params.Length > m.maxVehLen {
+		m.maxVehLen = params.Length
 	}
 	m.vs = append(m.vs, v)
 	if m.listsLive {
@@ -677,7 +695,14 @@ func (m *RoadModel) gapAhead(v *vehicle, lane int) (gap, leaderSpeed float64) {
 	if leader != nil {
 		return leader.offset - v.offset - leader.params.Length, leader.speed
 	}
-	// look into the next segment a vehicle would enter
+	return m.lookaheadGap(v, lane)
+}
+
+// lookaheadGap is gapAhead's empty-lane tail: when no leader exists on
+// v's own segment, peek into the next segment the vehicle would enter
+// (within 100 m) and measure against its first occupant. +Inf on free
+// road.
+func (m *RoadModel) lookaheadGap(v *vehicle, lane int) (gap, leaderSpeed float64) {
 	remaining := m.net.Segment(v.seg).Length() - v.offset
 	if remaining < 100 {
 		var nextSeg roadnet.SegmentID = -1
@@ -715,30 +740,77 @@ func (m *RoadModel) maybeChangeLane(v *vehicle) {
 		if cand < 0 || cand >= seg.Lanes {
 			continue
 		}
-		newGap, _ := m.gapAhead(v, cand)
-		if newGap < curGap*1.5+5 {
-			continue
+		if m.laneChangeOK(v, cand, curGap) {
+			v.lane = cand
+			v.laneCooldown = 4
+			return
 		}
-		// safety: follower in target lane must keep ≥ minGap
-		if !m.safeToEnter(v, cand) {
-			continue
-		}
-		v.lane = cand
-		v.laneCooldown = 4
-		return
 	}
 }
 
-func (m *RoadModel) safeToEnter(v *vehicle, lane int) bool {
-	for _, o := range m.laneList(v.seg, lane) {
-		if o == v {
-			continue
+// laneChangeOK evaluates one candidate lane with a single binary search:
+// the insertion position of v's offset yields both the prospective leader
+// (first entry at or ahead, same tie-break gapAhead uses) and the two
+// safety windows around it. The follower scan walks backwards from the
+// split and stops once the distance exceeds the model-wide reach bound
+// maxVehLen + maxSpeedLimit + 2 ≥ any follower's Length + speed·1s + 2;
+// the leader scan walks forward and stops at v's own (exact) envelope.
+// Both cutoffs are sound, so the verdict — gap incentive first, then
+// safety, exactly the sequential rule's order — matches a full-list scan
+// bit for bit. v is never in the candidate list (membership is keyed by
+// v.lane and stays frozen through the lane-change phase).
+func (m *RoadModel) laneChangeOK(v *vehicle, cand int, curGap float64) bool {
+	list := m.laneList(v.seg, cand)
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].offset < v.offset {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	// leader + incentive gap, matching gapAhead's foreign-lane semantics
+	var leader *vehicle
+	for i := lo; i < len(list); i++ {
+		o := list[i]
+		if o.offset == v.offset && o.id < v.id {
+			continue // deterministic tie-break
+		}
+		leader = o
+		break
+	}
+	var newGap float64
+	if leader != nil {
+		newGap = leader.offset - v.offset - leader.params.Length
+	} else {
+		newGap, _ = m.lookaheadGap(v, cand)
+	}
+	if newGap < curGap*1.5+5 {
+		return false // no incentive
+	}
+	// safety: follower in target lane must keep ≥ minGap
+	reach := m.maxVehLen + m.maxSpeedLimit + 2
+	for i := lo - 1; i >= 0; i-- {
+		o := list[i]
 		d := v.offset - o.offset
-		if d >= 0 && d < o.params.Length+o.speed*1.0+2 {
+		if d >= reach {
+			break
+		}
+		if d < o.params.Length+o.speed*1.0+2 {
 			return false // follower too close behind
 		}
-		if d < 0 && -d < v.params.Length+v.speed*1.0+2 {
+	}
+	// Ahead, v's envelope is the same for every entry and offsets ascend,
+	// so only the nearest at-or-ahead entry can decide. Equal offset means
+	// a zero follower gap — always unsafe, whichever side of the ID
+	// tie-break the entry is on.
+	if lo < len(list) {
+		o := list[lo]
+		if o.offset == v.offset {
+			return false // side-by-side: zero gap
+		}
+		if o.offset-v.offset < v.params.Length+v.speed*1.0+2 {
 			return false // leader too close ahead
 		}
 	}

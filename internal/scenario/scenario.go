@@ -440,14 +440,17 @@ func (s *Scenario) Run() (metrics.Summary, error) {
 	if err := s.World.Run(s.Opts.Duration); err != nil {
 		return metrics.Summary{}, fmt.Errorf("scenario %s/%s: %w", s.Protocol, s.Name, err)
 	}
-	return s.World.Collector().Summarize(s.Protocol, s.Name), nil
+	return s.Summary(), nil
 }
 
 // Summary snapshots the run's metrics, labelled with the scenario's
-// protocol and name. Segmented drivers (the checkpoint plane) call it
-// after the final AdvanceTo + CompleteRun instead of Run.
+// protocol and name and stamped with the engine's executed-event count.
+// Segmented drivers (the checkpoint plane) call it after the final
+// AdvanceTo + CompleteRun instead of Run.
 func (s *Scenario) Summary() metrics.Summary {
-	return s.World.Collector().Summarize(s.Protocol, s.Name)
+	sum := s.World.Collector().Summarize(s.Protocol, s.Name)
+	sum.Events = int(s.World.Engine().EventCount())
+	return sum
 }
 
 // RunProtocol is the one-call convenience: build and run.

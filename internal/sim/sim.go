@@ -83,10 +83,12 @@ func (e *Engine) RandSeed() int64 { return e.root.Int63() }
 
 // DigestInto folds the engine's checkpoint-relevant state into d: the
 // clock, the executed-event count, the root stream position, every
-// derived stream's (seed, position), and the full pending-event queue
-// (times, scheduling order, slot generations — see eventq.DigestInto).
+// derived stream's (seed, position), and the full pending-event queue in
+// canonical (time, scheduling-order) pop order — see eventq.DigestInto,
+// which is invariant to the queue's internal layout (heap vs calendar).
 // Two engines that executed the same event history digest identically,
-// regardless of process, shard count, or wall-clock interleaving.
+// regardless of process, shard count, wall-clock interleaving, or event
+// storage layout.
 func (e *Engine) DigestInto(d *digest.Writer) {
 	d.F64(e.now)
 	d.U64(e.events)
